@@ -1,0 +1,117 @@
+// Command dynmr is a Hive-CLI-style shell against a simulated cluster
+// with a generated LINEITEM table: type HiveQL (SELECT/SET/EXPLAIN/
+// SHOW TABLES/DESCRIBE), watch dynamic jobs grow incrementally, and
+// compare policies interactively.
+//
+// Usage:
+//
+//	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair] [-e "SQL"]
+//
+// Without -e, statements are read from stdin (one per line, ';'
+// optional).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynamicmr"
+	"dynamicmr/internal/hive"
+	"dynamicmr/internal/mapreduce"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "TPC-H scale factor of the generated LINEITEM table")
+	skewZ := flag.Float64("skew", 1, "Zipf exponent of the planted-match distribution (0, 1 or 2)")
+	rows := flag.Int64("rows", 2_000_000, "row-count override (0 = full 6M x scale)")
+	multi := flag.Bool("multiuser", false, "use the 16-map-slots-per-node configuration")
+	fair := flag.Bool("fair", false, "use the Fair Scheduler instead of FIFO")
+	exec := flag.String("e", "", "execute this statement and exit")
+	maxRows := flag.Int("maxrows", 20, "result rows to print")
+	trace := flag.Bool("trace", false, "print the task-level event log for each job")
+	flag.Parse()
+
+	var opts []dynamicmr.Option
+	if *multi {
+		opts = append(opts, dynamicmr.WithMultiUserSlots())
+	}
+	if *fair {
+		opts = append(opts, dynamicmr.WithFairScheduler(5))
+	}
+	c, err := dynamicmr.NewCluster(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		c.JobTracker().Subscribe(func(e mapreduce.TaskEvent) {
+			fmt.Fprintln(os.Stderr, e)
+		})
+	}
+	ds, err := c.LoadLineItem("lineitem", dynamicmr.DatasetSpec{
+		Scale: *scale, Skew: *skewZ, Rows: *rows, Seed: 42,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded table lineitem: %d rows, %d partitions, %d records matching %s\n",
+		ds.TotalRows(), ds.NumPartitions(), ds.TotalMatches(), ds.Predicate())
+	fmt.Printf("policies: %s (SET dynamic.job.policy = <name>)\n\n", strings.Join(c.Policies().Names(), ", "))
+
+	runOne := func(sql string) {
+		sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+		if sql == "" {
+			return
+		}
+		res, err := c.Query(sql)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		printResult(c, res, *maxRows)
+	}
+
+	if *exec != "" {
+		runOne(*exec)
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("dynmr> ")
+	for sc.Scan() {
+		runOne(sc.Text())
+		fmt.Print("dynmr> ")
+	}
+}
+
+func printResult(c *dynamicmr.Cluster, res *hive.Result, maxRows int) {
+	switch res.Kind {
+	case hive.ResultOK:
+		fmt.Printf("OK (%s)\n", res.Text)
+	case hive.ResultText:
+		fmt.Println(res.Text)
+	case hive.ResultRows:
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for i, r := range res.Rows {
+			if i >= maxRows {
+				fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+				break
+			}
+			fmt.Println(r.String())
+		}
+		job := res.Job
+		fmt.Printf("-- %d row(s); response time %.2fs (virtual); %d/%d partitions processed",
+			len(res.Rows), job.ResponseTime(), job.CompletedMaps(), job.ScheduledMaps())
+		if res.Client != nil {
+			fmt.Printf("; policy %s, %d provider evaluations", res.Client.Policy().Name, res.Client.Evaluations())
+		}
+		fmt.Printf("; cluster clock %.2fs\n", c.Now())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dynmr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command experiments regenerates every table and figure from the
+// paper's evaluation section (§V) on the simulated cluster and prints
+// the result grids, each annotated with the paper's qualitative claims
+// for comparison.
+//
+// Usage:
+//
+//	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
+//	            [-mode quick|paper] [-csv]
+//
+// Quick mode (default) shrinks datasets and measurement windows about
+// an order of magnitude and finishes in minutes; paper mode uses the
+// full §V parameters (TPC-H scales 5-100, k = 10 000, 10 users,
+// hour-long virtual windows).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dynamicmr/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated artifacts to regenerate: all, tableI, tableII, tableIII, figure4, figure5, figure6, figure7, figure8, ablationInterval, ablationThreshold, ablationGrab, ablationAdaptive")
+	mode := flag.String("mode", "quick", "quick (scaled-down, minutes) or paper (full §V parameters)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	var opt experiments.Options
+	switch *mode {
+	case "quick":
+		opt = experiments.QuickOptions()
+	case "paper":
+		opt = experiments.DefaultOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (quick or paper)\n", *mode)
+		os.Exit(2)
+	}
+
+	targets := strings.Split(strings.ToLower(*run), ",")
+	want := func(name string) bool {
+		for _, t := range targets {
+			if t == "all" || t == strings.ToLower(name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	emit := func(tables ...*experiments.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	timed := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fail(name, err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	timed("tableI", func() error { emit(experiments.TableI()); return nil })
+	timed("tableII", func() error {
+		t, err := experiments.TableII(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	timed("tableIII", func() error { emit(experiments.TableIII()); return nil })
+	timed("figure4", func() error {
+		t, err := experiments.Figure4(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	timed("figure5", func() error {
+		r, err := experiments.Figure5(opt)
+		if err != nil {
+			return err
+		}
+		emit(r.Tables()...)
+		return nil
+	})
+	timed("figure6", func() error {
+		r, err := experiments.Figure6(opt)
+		if err != nil {
+			return err
+		}
+		emit(r.Tables()...)
+		return nil
+	})
+	timed("figure7", func() error {
+		r, err := experiments.Figure7(opt)
+		if err != nil {
+			return err
+		}
+		emit(r.Tables()...)
+		return nil
+	})
+	timed("figure8", func() error {
+		r, err := experiments.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		emit(r.Tables()...)
+		return nil
+	})
+	for _, abl := range []struct {
+		name string
+		f    func(experiments.Options) (*experiments.Table, error)
+	}{
+		{"ablationInterval", experiments.AblationInterval},
+		{"ablationThreshold", experiments.AblationThreshold},
+		{"ablationGrab", experiments.AblationGrabScale},
+		{"ablationAdaptive", experiments.AblationAdaptive},
+	} {
+		abl := abl
+		timed(abl.name, func() error {
+			t, err := abl.f(opt)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,24 @@
+// Package dynamicmr is a faithful, runnable reproduction of
+// "Extending Map-Reduce for Efficient Predicate-Based Sampling"
+// (Grover & Carey, ICDE 2012): a miniature Hadoop-like MapReduce
+// runtime on a discrete-event-simulated cluster, extended with the
+// paper's incremental job expansion mechanism — dynamic jobs whose
+// pluggable Input Providers decide, from runtime statistics and cluster
+// load, when to consume more input — governed by configurable growth
+// policies, and applied to predicate-based sampling
+// (SELECT ... WHERE p LIMIT k over un-indexed files) so that response
+// time tracks the sample size rather than the dataset size.
+//
+// The root package is a facade over the internal packages:
+//
+//	c, _ := dynamicmr.NewCluster()
+//	c.LoadLineItem("lineitem", dynamicmr.DatasetSpec{Scale: 5, Skew: 1})
+//	res, _ := c.Query("SELECT L_ORDERKEY FROM lineitem WHERE L_QUANTITY > 50 LIMIT 10000")
+//	fmt.Println(len(res.Rows), "records in", res.Job.ResponseTime(), "virtual seconds")
+//
+// Everything — cluster hardware, HDFS-style block placement, heartbeat
+// scheduling (FIFO and Fair), task execution costs, the evaluation
+// loop, the policies of Table I — runs deterministically on a virtual
+// clock, while the map/reduce functions and the produced sample are
+// computed for real.
+package dynamicmr

@@ -1,0 +1,317 @@
+package dynamicmr
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/core"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dataset"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/expr"
+	"dynamicmr/internal/hive"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sampling"
+	"dynamicmr/internal/sim"
+	"dynamicmr/internal/tpch"
+)
+
+// DatasetSpec describes a LINEITEM dataset to generate and load.
+type DatasetSpec struct {
+	// Scale is the TPC-H scale factor (the paper evaluates 5-100).
+	Scale int
+	// Skew is the Zipf exponent for the distribution of
+	// predicate-matching records across partitions: 0, 1 or 2.
+	Skew float64
+	// Selectivity of the planted predicate; 0 means the paper's 0.05%.
+	Selectivity float64
+	// Seed makes the dataset deterministic.
+	Seed int64
+	// Rows overrides the TPC-H cardinality (testing/demo scale); 0
+	// keeps Scale x 6M rows.
+	Rows int64
+	// Partitions overrides the block count; 0 keeps 8 x Scale.
+	Partitions int
+}
+
+// Option configures NewCluster.
+type Option func(*config)
+
+type config struct {
+	hw        cluster.Config
+	runtime   mapreduce.Config
+	scheduler mapreduce.TaskScheduler
+	policies  *core.Registry
+}
+
+// WithHardware replaces the default 10-node paper cluster.
+func WithHardware(hw cluster.Config) Option {
+	return func(c *config) { c.hw = hw }
+}
+
+// WithMultiUserSlots switches to the 16-map-slots-per-node
+// configuration of the paper's multi-user experiments.
+func WithMultiUserSlots() Option {
+	return func(c *config) { c.hw = c.hw.MultiUser() }
+}
+
+// WithFairScheduler replaces the default FIFO scheduler with the Fair
+// Scheduler using the given locality wait in (virtual) seconds.
+func WithFairScheduler(localityWaitS float64) Option {
+	return func(c *config) { c.scheduler = mapreduce.NewFairScheduler(localityWaitS) }
+}
+
+// WithRuntime replaces the MapReduce runtime configuration (heartbeat
+// interval, task costs, failure injection).
+func WithRuntime(rc mapreduce.Config) Option {
+	return func(c *config) { c.runtime = rc }
+}
+
+// WithSpeculativeExecution enables backup attempts for straggling map
+// tasks (Hadoop's speculative execution).
+func WithSpeculativeExecution() Option {
+	return func(c *config) { c.runtime.SpeculativeExecution = true }
+}
+
+// WithPolicies replaces the Table I policy registry (e.g. one parsed
+// from a custom policy.xml via ParsePolicyXML).
+func WithPolicies(r *core.Registry) Option {
+	return func(c *config) { c.policies = r }
+}
+
+// Cluster is the top-level handle: a simulated Hadoop cluster with a
+// DFS, a JobTracker, a table catalog and a policy registry.
+type Cluster struct {
+	eng      *sim.Engine
+	hw       *cluster.Cluster
+	fs       *dfs.DFS
+	jt       *mapreduce.JobTracker
+	catalog  *hive.Catalog
+	policies *core.Registry
+	sessions map[string]*hive.Session
+	seed     int64
+}
+
+// NewCluster builds a simulated cluster; defaults reproduce the
+// paper's §V-A testbed (10 nodes x 4 cores x 4 disks, 4 map
+// slots/node, FIFO scheduling, Table I policies).
+func NewCluster(opts ...Option) (*Cluster, error) {
+	cfg := config{
+		hw:      cluster.PaperConfig(),
+		runtime: mapreduce.DefaultConfig(),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.hw.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.policies == nil {
+		cfg.policies = core.DefaultRegistry()
+	}
+	eng := sim.NewEngine()
+	hw := cluster.New(eng, cfg.hw)
+	return &Cluster{
+		eng:      eng,
+		hw:       hw,
+		fs:       dfs.New(hw),
+		jt:       mapreduce.NewJobTracker(hw, cfg.runtime, cfg.scheduler),
+		catalog:  hive.NewCatalog(),
+		policies: cfg.policies,
+		sessions: make(map[string]*hive.Session),
+	}, nil
+}
+
+// Now returns the cluster's virtual time in seconds.
+func (c *Cluster) Now() float64 { return c.eng.Now() }
+
+// Policies returns the policy registry (the policy.xml contents).
+func (c *Cluster) Policies() *core.Registry { return c.policies }
+
+// Catalog returns the table catalog.
+func (c *Cluster) Catalog() *hive.Catalog { return c.catalog }
+
+// JobTracker exposes the underlying runtime for advanced use (direct
+// job submission, custom Input Providers).
+func (c *Cluster) JobTracker() *mapreduce.JobTracker { return c.jt }
+
+// Engine exposes the discrete-event clock for advanced use.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Tables lists the registered table names.
+func (c *Cluster) Tables() []string { return c.catalog.Names() }
+
+// LoadLineItem generates a LINEITEM dataset per spec, stores it in the
+// DFS (blocks spread round-robin across all disks, unreplicated, as in
+// §V-B) and registers it as a queryable table. It returns the built
+// dataset for inspection (planted predicate, match distribution).
+func (c *Cluster) LoadLineItem(name string, spec DatasetSpec) (*dataset.Dataset, error) {
+	c.seed++
+	ds, err := dataset.Build(dataset.Spec{
+		Name:         name,
+		Scale:        spec.Scale,
+		Seed:         spec.Seed + c.seed*1_000_003,
+		Z:            spec.Skew,
+		Selectivity:  spec.Selectivity,
+		Partitions:   spec.Partitions,
+		RowsOverride: spec.Rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]data.Source, ds.NumPartitions())
+	for i, p := range ds.Partitions() {
+		srcs[i] = p
+	}
+	f, err := c.fs.Create(name, srcs, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.catalog.Register(&hive.Table{Name: name, Schema: tpch.LineItemSchema, File: f}); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Session returns (creating on first use) the named user's Hive
+// session. Sessions carry per-user SET overrides and map to Fair
+// Scheduler pools.
+func (c *Cluster) Session(user string) *hive.Session {
+	s, ok := c.sessions[user]
+	if !ok {
+		s = hive.NewSession(c.jt, c.catalog, c.policies, user)
+		c.sessions[user] = s
+	}
+	return s
+}
+
+// Query executes one HiveQL statement as the "default" user and drives
+// the simulation until the query completes.
+func (c *Cluster) Query(sql string) (*hive.Result, error) {
+	return c.Session("default").Execute(sql)
+}
+
+// Sample runs predicate-based sampling directly (without SQL): a
+// dynamic MapReduce job over the named table returning k records
+// satisfying the predicate, executed under the named growth policy
+// ("" = LA). columns selects the output projection (nil = all).
+func (c *Cluster) Sample(table, predicate string, k int64, policy string, columns []string) (*hive.Result, error) {
+	if policy == "" {
+		policy = hive.DefaultPolicy
+	}
+	// "Adaptive" is the §VII runtime-selection mode, resolved by the
+	// session rather than the registry.
+	if !strings.EqualFold(policy, "adaptive") {
+		if _, err := c.policies.Get(policy); err != nil {
+			return nil, err
+		}
+	}
+	sess := c.Session("default")
+	prev := sess.Get(mapreduce.ConfDynamicPolicy, "")
+	sess.Set(mapreduce.ConfDynamicPolicy, policy)
+	defer func() {
+		if prev == "" {
+			sess.Set(mapreduce.ConfDynamicPolicy, hive.DefaultPolicy)
+		} else {
+			sess.Set(mapreduce.ConfDynamicPolicy, prev)
+		}
+	}()
+	cols := "*"
+	if len(columns) > 0 {
+		cols = ""
+		for i, col := range columns {
+			if i > 0 {
+				cols += ", "
+			}
+			cols += col
+		}
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s LIMIT %d", cols, table, predicate, k)
+	return sess.Execute(sql)
+}
+
+// ParsePolicyXML parses a policy.xml document into a registry usable
+// with WithPolicies.
+func ParsePolicyXML(doc []byte) (*core.Registry, error) {
+	return core.ParsePolicyXML(doc)
+}
+
+// SelectivityEstimate is the result of EstimateSelectivity.
+type SelectivityEstimate struct {
+	// Selectivity is the estimated match fraction.
+	Selectivity float64
+	// Matches and Records are what the job actually observed.
+	Matches int64
+	Records int64
+	// RelativeError is the confidence half-width over the estimate.
+	RelativeError float64
+	// PartitionsProcessed is how much input the estimate cost.
+	PartitionsProcessed int
+	// ResponseTime is the job's virtual duration in seconds.
+	ResponseTime float64
+}
+
+// EstimateSelectivity estimates a predicate's selectivity on a table
+// to within maxRelErr relative error (95% confidence) using the §VI
+// statistics-harness application of incremental processing: a dynamic
+// counting job consumes randomly-ordered partitions under the named
+// growth policy ("" = LA) until the confidence interval is tight,
+// reading only as much input as the estimate requires.
+func (c *Cluster) EstimateSelectivity(table, predicate string, maxRelErr float64, policy string) (SelectivityEstimate, error) {
+	var out SelectivityEstimate
+	tab, err := c.catalog.Lookup(table)
+	if err != nil {
+		return out, err
+	}
+	pred, err := hive.ParsePredicate(predicate)
+	if err != nil {
+		return out, err
+	}
+	if err := expr.Validate(pred, tab.Schema); err != nil {
+		return out, err
+	}
+	if policy == "" {
+		policy = hive.DefaultPolicy
+	}
+	pol, err := c.policies.Get(policy)
+	if err != nil {
+		return out, err
+	}
+	spec, err := sampling.NewEstimationJobSpec(pred, nil)
+	if err != nil {
+		return out, err
+	}
+	c.seed++
+	provider := sampling.NewEstimatorProvider(maxRelErr, c.seed*7877)
+	client, err := core.SubmitDynamic(c.jt, spec, mapreduce.SplitsForFile(tab.File), provider, pol)
+	if err != nil {
+		return out, err
+	}
+	job := client.Job()
+	if !mapreduce.RunUntilDone(c.eng, job, c.eng.Now()+1e7) {
+		return out, fmt.Errorf("dynamicmr: estimation job exceeded deadline")
+	}
+	if job.State() == mapreduce.StateFailed {
+		return out, fmt.Errorf("dynamicmr: estimation job failed: %s", job.Failure())
+	}
+	// The provider's stopping-rule estimate reflects its last
+	// evaluation; recompute from the final counters so in-flight maps
+	// that finished after end-of-input are included.
+	records := job.Counters.MapInputRecords
+	matches := job.Counters.UserCounter(sampling.CounterMatches)
+	est := sampling.Estimate{Matches: matches, Records: records}
+	if records > 0 {
+		est.Selectivity = float64(matches) / float64(records)
+	}
+	last := provider.Last()
+	out = SelectivityEstimate{
+		Selectivity:         est.Selectivity,
+		Matches:             matches,
+		Records:             records,
+		RelativeError:       last.RelativeError,
+		PartitionsProcessed: job.CompletedMaps(),
+		ResponseTime:        job.ResponseTime(),
+	}
+	return out, nil
+}

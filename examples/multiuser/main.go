@@ -1,0 +1,72 @@
+// Shared-cluster throughput: the paper's §V-E heterogeneous scenario.
+// A group of users share one cluster; some draw predicate-based
+// samples while the rest run full select-project scans. The growth
+// policy the sampling users adopt decides how much cluster capacity is
+// left for everyone else — conservative sampling multiplies the scan
+// class's throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamicmr"
+	"dynamicmr/internal/core"
+	"dynamicmr/internal/workload"
+)
+
+func main() {
+	for _, policy := range []string{core.PolicyHadoop, core.PolicyLA} {
+		thr, err := runMix(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samp, _ := thr.Class("Sampling")
+		scan, _ := thr.Class("Non-Sampling")
+		fmt.Printf("sampling class policy %-7s  sampling: %6.1f jobs/hour   non-sampling: %6.1f jobs/hour\n",
+			policy, samp.ThroughputJobsPerHour, scan.ThroughputJobsPerHour)
+	}
+	fmt.Println("\nWhen the sampling users switch from the Hadoop policy to LA, the scan")
+	fmt.Println("class's throughput jumps — the paper measured 3-8x (§V-E, Figure 7).")
+}
+
+func runMix(policy string) (workload.Results, error) {
+	// Multi-user slot configuration (16 map slots per node, §V-D).
+	c, err := dynamicmr.NewCluster(dynamicmr.WithMultiUserSlots())
+	if err != nil {
+		return workload.Results{}, err
+	}
+	const users = 4
+	var group []*workload.User
+	for u := 0; u < users; u++ {
+		// Per-user dataset copy, uniform match distribution (§V-E).
+		name := fmt.Sprintf("lineitem_u%d", u)
+		ds, err := c.LoadLineItem(name, dynamicmr.DatasetSpec{
+			Scale: 25, Skew: 0, Rows: 60_000_000, Seed: int64(u),
+		})
+		if err != nil {
+			return workload.Results{}, err
+		}
+		pred := ds.Predicate().String()
+		sess := c.Session(fmt.Sprintf("user%d", u))
+		if u < users/2 {
+			sess.Set("dynamic.job.policy", policy)
+			group = append(group, &workload.User{
+				Name:  fmt.Sprintf("user%d", u),
+				Class: "Sampling",
+				Query: fmt.Sprintf(
+					"SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM %s WHERE %s LIMIT 1000", name, pred),
+				Session: sess,
+			})
+		} else {
+			group = append(group, &workload.User{
+				Name:  fmt.Sprintf("user%d", u),
+				Class: "Non-Sampling",
+				Query: fmt.Sprintf(
+					"SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM %s WHERE %s", name, pred),
+				Session: sess,
+			})
+		}
+	}
+	return workload.Run(c.Engine(), group, workload.Config{WarmupS: 120, MeasureS: 600})
+}

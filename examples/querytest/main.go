@@ -1,0 +1,59 @@
+// Query testing: the paper's §I developer scenario. A developer wants
+// to try a new query against "a small subset of data satisfying some
+// constraints" before paying for a run over the whole dataset. This
+// example compares how each Table I growth policy behaves while
+// fetching that test subset, on an otherwise idle cluster — Figure 5
+// in miniature, including the skew sensitivity of conservative
+// policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamicmr"
+	"dynamicmr/internal/core"
+)
+
+func main() {
+	for _, skew := range []float64{0, 2} {
+		fmt.Printf("=== skew z=%g ===\n", skew)
+		// Fresh cluster per skew level so runs don't interleave.
+		c, err := dynamicmr.NewCluster()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := c.LoadLineItem("lineitem", dynamicmr.DatasetSpec{
+			Scale: 5,
+			Skew:  skew,
+			Rows:  4_000_000,
+			Seed:  3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := ds.Predicate().String()
+
+		fmt.Printf("%-8s %-12s %-12s %-14s %s\n",
+			"policy", "response(s)", "partitions", "records read", "evaluations")
+		for _, policy := range []string{core.PolicyC, core.PolicyLA, core.PolicyMA, core.PolicyHA, core.PolicyHadoop} {
+			res, err := c.Sample("lineitem", pred, 1000, policy, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res.Rows) != 1000 {
+				log.Fatalf("policy %s returned %d rows", policy, len(res.Rows))
+			}
+			evals := 0
+			if res.Client != nil {
+				evals = res.Client.Evaluations()
+			}
+			fmt.Printf("%-8s %-12.2f %-12d %-14d %d\n",
+				policy, res.Job.ResponseTime(), res.Job.CompletedMaps(),
+				res.Job.Counters.MapInputRecords, evals)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Conservative policies read the least data but pay more evaluation rounds —")
+	fmt.Println("worst under high skew, where many partitions contribute no matches (§V-C).")
+}

@@ -1,0 +1,3 @@
+module dynamicmr
+
+go 1.22

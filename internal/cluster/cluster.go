@@ -1,0 +1,189 @@
+// Package cluster models the hardware of a shared-nothing Hadoop
+// cluster on top of the discrete-event engine: nodes with cores and
+// disks, a shared network fabric, and per-node map/reduce slot bounds.
+// The paper's test cluster (§V-A) — 10 IBM x3650 nodes, each with four
+// cores, 12 GB RAM and four disks — is the default configuration.
+package cluster
+
+import (
+	"fmt"
+
+	"dynamicmr/internal/sim"
+)
+
+// Config describes cluster hardware and slot configuration.
+type Config struct {
+	// Nodes is the number of worker machines.
+	Nodes int
+	// CoresPerNode is the CPU core count per machine.
+	CoresPerNode int
+	// DisksPerNode is the number of independent data disks per machine.
+	DisksPerNode int
+	// DiskBandwidth is each disk's sequential throughput in bytes/s.
+	DiskBandwidth float64
+	// NetworkBandwidth is the aggregate fabric capacity in bytes/s.
+	NetworkBandwidth float64
+	// NICBandwidth caps a single stream's network rate in bytes/s.
+	NICBandwidth float64
+	// MapSlotsPerNode bounds concurrent map tasks per node (§II-C:
+	// "a Hadoop cluster is pre-configured with a bound on the number of
+	// concurrent map tasks per node"). The paper uses 4 for the
+	// single-user study and 16 for multi-user throughput.
+	MapSlotsPerNode int
+	// ReduceSlotsPerNode bounds concurrent reduce tasks per node.
+	ReduceSlotsPerNode int
+	// NodeSpeedFactors optionally scales each node's CPU and disk
+	// capacity (stragglers: factor < 1 makes a node slower). Empty
+	// means all nodes run at full speed; otherwise the slice must have
+	// one entry per node.
+	NodeSpeedFactors []float64
+}
+
+// PaperConfig returns the §V-A cluster: 10 nodes × 4 cores × 4 disks
+// (40 cores, 40 disks), 4 map slots per node.
+func PaperConfig() Config {
+	return Config{
+		Nodes:              10,
+		CoresPerNode:       4,
+		DisksPerNode:       4,
+		DiskBandwidth:      80e6,   // ~80 MB/s sequential, 2012-era SATA
+		NetworkBandwidth:   1250e6, // 10 GbE aggregate fabric
+		NICBandwidth:       125e6,  // 1 GbE per stream
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 2,
+	}
+}
+
+// MultiUser returns the configuration with 16 map slots per node, the
+// setting §V-D arrived at for maximum multi-user throughput.
+func (c Config) MultiUser() Config {
+	c.MapSlotsPerNode = 16
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster: CoresPerNode must be positive, got %d", c.CoresPerNode)
+	case c.DisksPerNode <= 0:
+		return fmt.Errorf("cluster: DisksPerNode must be positive, got %d", c.DisksPerNode)
+	case c.DiskBandwidth <= 0:
+		return fmt.Errorf("cluster: DiskBandwidth must be positive, got %v", c.DiskBandwidth)
+	case c.NetworkBandwidth <= 0:
+		return fmt.Errorf("cluster: NetworkBandwidth must be positive, got %v", c.NetworkBandwidth)
+	case c.MapSlotsPerNode <= 0:
+		return fmt.Errorf("cluster: MapSlotsPerNode must be positive, got %d", c.MapSlotsPerNode)
+	case c.ReduceSlotsPerNode <= 0:
+		return fmt.Errorf("cluster: ReduceSlotsPerNode must be positive, got %d", c.ReduceSlotsPerNode)
+	}
+	if len(c.NodeSpeedFactors) != 0 {
+		if len(c.NodeSpeedFactors) != c.Nodes {
+			return fmt.Errorf("cluster: %d speed factors for %d nodes", len(c.NodeSpeedFactors), c.Nodes)
+		}
+		for i, f := range c.NodeSpeedFactors {
+			if f <= 0 {
+				return fmt.Errorf("cluster: node %d speed factor %v must be positive", i, f)
+			}
+		}
+	}
+	return nil
+}
+
+// speed returns node i's speed factor.
+func (c Config) speed(i int) float64 {
+	if len(c.NodeSpeedFactors) == 0 {
+		return 1
+	}
+	return c.NodeSpeedFactors[i]
+}
+
+// TotalMapSlots returns the cluster-wide map slot capacity ("TS" in the
+// paper's grab-limit formulas).
+func (c Config) TotalMapSlots() int { return c.Nodes * c.MapSlotsPerNode }
+
+// TotalCores returns the cluster-wide core count.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+// TotalDisks returns the cluster-wide disk count.
+func (c Config) TotalDisks() int { return c.Nodes * c.DisksPerNode }
+
+// Node is one worker machine: a shared CPU (capacity = cores, one task
+// capped at one core) and independent disks.
+type Node struct {
+	ID    int
+	CPU   *sim.SharedResource
+	Disks []*sim.SharedResource
+}
+
+// Cluster is the instantiated hardware.
+type Cluster struct {
+	Eng     *sim.Engine
+	Cfg     Config
+	Nodes   []*Node
+	Network *sim.SharedResource
+}
+
+// New builds a cluster on an engine. It panics on invalid configuration
+// (construction-time bug, not a runtime condition).
+func New(eng *sim.Engine, cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{Eng: eng, Cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		speed := cfg.speed(i)
+		n := &Node{
+			ID: i,
+			CPU: sim.NewSharedResource(eng, fmt.Sprintf("node%d.cpu", i),
+				float64(cfg.CoresPerNode)*speed, speed),
+		}
+		for d := 0; d < cfg.DisksPerNode; d++ {
+			n.Disks = append(n.Disks,
+				sim.NewSharedResource(eng, fmt.Sprintf("node%d.disk%d", i, d),
+					cfg.DiskBandwidth*speed, cfg.DiskBandwidth*speed))
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	nic := cfg.NICBandwidth
+	if nic <= 0 {
+		nic = cfg.NetworkBandwidth
+	}
+	c.Network = sim.NewSharedResource(eng, "network", cfg.NetworkBandwidth, nic)
+	return c
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// CPUUsedIntegral sums core-seconds consumed across all nodes up to now.
+func (c *Cluster) CPUUsedIntegral() float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		t += n.CPU.UsedIntegral()
+	}
+	return t
+}
+
+// DiskUsedIntegral sums bytes read/written across all disks up to now.
+func (c *Cluster) DiskUsedIntegral() float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		for _, d := range n.Disks {
+			t += d.UsedIntegral()
+		}
+	}
+	return t
+}
+
+// CPUCapacity returns aggregate core capacity (core-seconds per second).
+func (c *Cluster) CPUCapacity() float64 {
+	return float64(c.Cfg.Nodes * c.Cfg.CoresPerNode)
+}
+
+// DiskCapacity returns aggregate disk bandwidth in bytes/s.
+func (c *Cluster) DiskCapacity() float64 {
+	return float64(c.Cfg.Nodes*c.Cfg.DisksPerNode) * c.Cfg.DiskBandwidth
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"dynamicmr/internal/mapreduce"
+)
+
+// Response is the Input Provider's three-way answer (§III-A, Fig. 3).
+type Response int
+
+const (
+	// EndOfInput: the job needs no further input; in-flight maps finish
+	// and the reduce phase begins. The provider is not invoked again.
+	EndOfInput Response = iota
+	// InputAvailable: the provider supplies additional partitions.
+	InputAvailable
+	// NoInputAvailable: "wait and see" — reassess at the next
+	// evaluation.
+	NoInputAvailable
+)
+
+// String returns the paper's message name for the response.
+func (r Response) String() string {
+	switch r {
+	case EndOfInput:
+		return "end of input"
+	case InputAvailable:
+		return "input available"
+	case NoInputAvailable:
+		return "no input available"
+	default:
+		return "unknown"
+	}
+}
+
+// Report is what the JobClient hands the Input Provider at each
+// evaluation: job progress statistics, cluster load, and the grab limit
+// the active policy allows for this step.
+type Report struct {
+	// Job is the job-status snapshot (completed maps, records
+	// processed, map output produced, ...).
+	Job mapreduce.JobStatus
+	// Cluster is the capacity/load snapshot (TS, AS, running jobs).
+	Cluster mapreduce.ClusterStatus
+	// GrabLimit is the maximum number of partitions the policy permits
+	// adding in this step (already evaluated from AS/TS).
+	GrabLimit int
+}
+
+// InputProvider contains a dynamic job's logic for deciding input
+// intake (§III-A). It is initialised with the job's complete input
+// partition set, then consulted at each evaluation interval.
+//
+// Implementations run client-side (inside the JobClient, §IV), so a
+// buggy provider cannot take down the JobTracker; the JobClient
+// additionally isolates panics (see Run).
+type InputProvider interface {
+	// Init receives the complete input and the job configuration before
+	// submission.
+	Init(allSplits []mapreduce.Split, conf *mapreduce.JobConf) error
+	// InitialSplits returns the splits forming the job's initial input,
+	// at most grabLimit of them.
+	InitialSplits(grabLimit int) []mapreduce.Split
+	// Next assesses progress and answers with a response and, for
+	// InputAvailable, the partitions to add (at most report.GrabLimit).
+	Next(report Report) (Response, []mapreduce.Split)
+}

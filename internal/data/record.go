@@ -1,0 +1,151 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema names and orders the columns of a record. Schemas are immutable
+// after construction and safe for concurrent use.
+type Schema struct {
+	cols  []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from column names. Names are matched
+// case-insensitively (upper-cased internally, as in Hive).
+func NewSchema(cols ...string) *Schema {
+	s := &Schema{index: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		u := strings.ToUpper(c)
+		if _, dup := s.index[u]; dup {
+			panic(fmt.Sprintf("data: duplicate column %q", c))
+		}
+		s.index[u] = len(s.cols)
+		s.cols = append(s.cols, u)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Columns returns the column names in order. The caller must not modify
+// the returned slice.
+func (s *Schema) Columns() []string { return s.cols }
+
+// Index returns the position of a column (case-insensitive) and whether
+// it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[strings.ToUpper(name)]
+	return i, ok
+}
+
+// Has reports whether the schema contains the column.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.Index(name)
+	return ok
+}
+
+// Project returns a new schema with the given columns (which must exist).
+func (s *Schema) Project(cols ...string) (*Schema, error) {
+	for _, c := range cols {
+		if !s.Has(c) {
+			return nil, fmt.Errorf("data: unknown column %q", c)
+		}
+	}
+	return NewSchema(cols...), nil
+}
+
+// Record is a flat row: values positionally aligned with a Schema.
+type Record struct {
+	schema *Schema
+	vals   []Value
+}
+
+// NewRecord pairs a schema with values. The value count must match.
+func NewRecord(schema *Schema, vals []Value) Record {
+	if len(vals) != schema.Len() {
+		panic(fmt.Sprintf("data: record has %d values for %d columns", len(vals), schema.Len()))
+	}
+	return Record{schema: schema, vals: vals}
+}
+
+// Schema returns the record's schema.
+func (r Record) Schema() *Schema { return r.schema }
+
+// Len returns the number of fields.
+func (r Record) Len() int { return len(r.vals) }
+
+// At returns the value at position i.
+func (r Record) At(i int) Value { return r.vals[i] }
+
+// Get returns the value of the named column.
+func (r Record) Get(col string) (Value, bool) {
+	i, ok := r.schema.Index(col)
+	if !ok {
+		return Null(), false
+	}
+	return r.vals[i], true
+}
+
+// MustGet returns the value of the named column, panicking if absent.
+func (r Record) MustGet(col string) Value {
+	v, ok := r.Get(col)
+	if !ok {
+		panic(fmt.Sprintf("data: record has no column %q", col))
+	}
+	return v
+}
+
+// Project returns a record containing only the given columns, bound to
+// the provided projected schema (obtained from Schema.Project).
+func (r Record) Project(proj *Schema) Record {
+	vals := make([]Value, proj.Len())
+	for i, c := range proj.Columns() {
+		vals[i] = r.MustGet(c)
+	}
+	return Record{schema: proj, vals: vals}
+}
+
+// EncodedSize returns the record's size in bytes in the pipe-delimited
+// text representation (fields + separators + newline), which is what the
+// DFS charges for I/O.
+func (r Record) EncodedSize() int {
+	n := len(r.vals) // len-1 separators + newline
+	for _, v := range r.vals {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+// String renders the record as a pipe-delimited line.
+func (r Record) String() string {
+	var b strings.Builder
+	for i, v := range r.vals {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy whose value slice is independent.
+func (r Record) Clone() Record {
+	vals := make([]Value, len(r.vals))
+	copy(vals, r.vals)
+	return Record{schema: r.schema, vals: vals}
+}
+
+// With returns a copy of the record with the named column replaced.
+// The original record is unchanged.
+func (r Record) With(col string, v Value) Record {
+	i, ok := r.schema.Index(col)
+	if !ok {
+		panic(fmt.Sprintf("data: record has no column %q", col))
+	}
+	c := r.Clone()
+	c.vals[i] = v
+	return c
+}

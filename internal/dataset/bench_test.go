@@ -1,0 +1,46 @@
+package dataset
+
+import "testing"
+
+// BenchmarkAcceleratedVsScan is the ablation behind DESIGN.md's
+// substitution note: the accelerated match path against the physical
+// full-scan path on the same partition.
+func BenchmarkAcceleratedMatches(b *testing.B) {
+	ds, err := Build(Spec{Scale: 1, Seed: 1, Z: 0, Selectivity: 0.005, Partitions: 40, RowsOverride: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ds.Partition(0)
+	fp := ds.PredicateFingerprint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.AcceleratedMatches(fp, -1); !ok {
+			b.Fatal("no acceleration")
+		}
+	}
+}
+
+func BenchmarkScanMatches(b *testing.B) {
+	ds, err := Build(Spec{Scale: 1, Seed: 1, Z: 0, Selectivity: 0.005, Partitions: 40, RowsOverride: 200_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ds.Partition(0)
+	pred := ds.Predicate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ScanMatches(pred, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild100Partitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(Spec{Scale: 2, Seed: int64(i), Z: 2, Partitions: 100, RowsOverride: 1_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynamicmr/internal/core"
+	"dynamicmr/internal/hive"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sampling"
+	"dynamicmr/internal/tpch"
+	"dynamicmr/internal/workload"
+)
+
+// The ablations probe the design choices DESIGN.md calls out beyond
+// the paper's own figures: the evaluation interval and work threshold
+// (§III-B's two cadence parameters), the grab-limit scale (the
+// conservative/aggressive dial Table I samples at five points), and
+// the §VII runtime-adaptive policy extension.
+
+// singleUserRun executes one dynamic sampling job on a fresh idle
+// cluster under the given policy and provider wrapping, returning the
+// finished job and its client.
+func (o Options) singleUserRun(cache *dsCache, z float64, pol *core.Policy,
+	wrap func(core.InputProvider) core.InputProvider, seed int64) (*core.JobClient, error) {
+	scale := o.Scales[len(o.Scales)-1]
+	ds, err := cache.get(o.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
+	if err != nil {
+		return nil, err
+	}
+	r := newRig(nil, false)
+	f, err := r.load(ds, ds.Name())
+	if err != nil {
+		return nil, err
+	}
+	proj, err := tpch.LineItemSchema.Project("L_ORDERKEY", "L_PARTKEY", "L_SUPPKEY")
+	if err != nil {
+		return nil, err
+	}
+	spec, err := sampling.NewJobSpec(ds.Predicate(), o.SampleK, proj, nil)
+	if err != nil {
+		return nil, err
+	}
+	var provider core.InputProvider = sampling.NewProvider(o.SampleK, seed)
+	if wrap != nil {
+		provider = wrap(provider)
+	}
+	client, err := core.SubmitDynamic(r.jt, spec, mapreduce.SplitsForFile(f), provider, pol)
+	if err != nil {
+		return nil, err
+	}
+	if !mapreduce.RunUntilDone(r.eng, client.Job(), 1e8) {
+		return nil, fmt.Errorf("ablation job stuck under %s", pol.Name)
+	}
+	if client.Job().State() == mapreduce.StateFailed {
+		return nil, fmt.Errorf("ablation job failed: %s", client.Job().Failure())
+	}
+	return client, nil
+}
+
+// AblationInterval sweeps the EvaluationInterval for the LA policy:
+// too-short intervals buy little, too-long ones stall the job between
+// increments (§III-B parameter 1).
+func AblationInterval(opt Options) (*Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cache := newDSCache()
+	base, err := core.DefaultRegistry().Get(core.PolicyLA)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Ablation: evaluation interval (LA policy, single user, moderate skew)",
+		Columns: []string{"Interval (s)", "Response (s)", "Evaluations", "Partitions"},
+		Notes: []string{
+			"§III-B: short intervals re-evaluate needlessly; long intervals leave the job waiting after its input drains",
+		},
+	}
+	for _, interval := range []float64{1, 2, 4, 8, 16, 32} {
+		pol := &core.Policy{
+			Name:                fmt.Sprintf("LA-%gs", interval),
+			EvaluationIntervalS: interval,
+			WorkThresholdPct:    base.WorkThresholdPct,
+			GrabLimitExpr:       base.GrabLimitExpr,
+		}
+		client, err := opt.singleUserRun(cache, 1, pol, nil, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		j := client.Job()
+		t.AddRow(interval, j.ResponseTime(), client.Evaluations(), j.CompletedMaps())
+	}
+	return t, nil
+}
+
+// AblationThreshold sweeps the WorkThreshold (§III-B parameter 2) for
+// a fixed interval and grab limit.
+func AblationThreshold(opt Options) (*Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cache := newDSCache()
+	t := &Table{
+		Title:   "Ablation: work threshold (LA grab limit, 4s interval, single user, moderate skew)",
+		Columns: []string{"Threshold (%)", "Response (s)", "Evaluations", "Partitions"},
+		Notes: []string{
+			"higher thresholds suppress provider consultations; the idle-liveness override keeps the job from stalling outright",
+		},
+	}
+	for _, thr := range []float64{0, 5, 10, 15, 25, 50} {
+		pol := &core.Policy{
+			Name:                fmt.Sprintf("LA-t%g", thr),
+			EvaluationIntervalS: 4,
+			WorkThresholdPct:    thr,
+			GrabLimitExpr:       "AS > 0 ? 0.2*AS : 0.1*TS",
+		}
+		client, err := opt.singleUserRun(cache, 1, pol, nil, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		j := client.Job()
+		t.AddRow(thr, j.ResponseTime(), client.Evaluations(), j.CompletedMaps())
+	}
+	return t, nil
+}
+
+// AblationGrabScale sweeps the grab-limit scale f in "f*AS": the
+// continuous version of Table I's conservative-to-aggressive spectrum,
+// measured single-user (where aggression wins) — the counterpart of
+// Figure 5's discrete policy points.
+func AblationGrabScale(opt Options) (*Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cache := newDSCache()
+	t := &Table{
+		Title:   "Ablation: grab-limit scale f (limit = f*AS, single user, high skew)",
+		Columns: []string{"f", "Response (s)", "Partitions", "Records read (M)"},
+		Notes: []string{
+			"small f reads least but pays rounds; large f overcomes skew by covering more partitions per step (§V-C)",
+		},
+	}
+	for _, f := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		pol := &core.Policy{
+			Name:                fmt.Sprintf("f=%g", f),
+			EvaluationIntervalS: 4,
+			WorkThresholdPct:    0,
+			GrabLimitExpr:       fmt.Sprintf("%g*AS", f),
+		}
+		client, err := opt.singleUserRun(cache, 2, pol, nil, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		j := client.Job()
+		t.AddRow(f, j.ResponseTime(), j.CompletedMaps(), float64(j.Counters.MapInputRecords)/1e6)
+	}
+	return t, nil
+}
+
+// AblationAdaptive compares the §VII runtime-adaptive policy against
+// fixed C and HA in the two regimes where each fixed policy wins: a
+// single user on an idle cluster (HA territory) and a homogeneous
+// multi-user workload (conservative territory). The adaptive job
+// should land near the winner in both.
+func AblationAdaptive(opt Options) (*Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cache := newDSCache()
+	reg := core.DefaultRegistry()
+
+	t := &Table{
+		Title:   "Ablation: runtime-adaptive policy (§VII future work) vs fixed policies",
+		Columns: []string{"Policy", "Idle-cluster response (s)", "Multi-user throughput (jobs/hour)"},
+		Notes: []string{
+			"adaptive should approach HA's response when idle and the conservative policies' throughput when shared",
+		},
+	}
+
+	type row struct {
+		name  string
+		fixed string // registry policy, or "" for adaptive
+	}
+	rows := []row{{"C", core.PolicyC}, {"HA", core.PolicyHA}, {"Adaptive", ""}}
+
+	for _, r := range rows {
+		// Regime 1: idle cluster, single job.
+		var client *core.JobClient
+		var err error
+		if r.fixed != "" {
+			pol, perr := reg.Get(r.fixed)
+			if perr != nil {
+				return nil, perr
+			}
+			client, err = opt.singleUserRun(cache, 1, pol, nil, opt.Seed)
+		} else {
+			client, err = opt.singleUserRun(cache, 1, core.AdaptiveEnvelopePolicy(),
+				func(p core.InputProvider) core.InputProvider { return core.NewAdaptiveProvider(p) }, opt.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		idle := client.Job().ResponseTime()
+
+		// Regime 2: homogeneous multi-user workload.
+		polName := r.fixed
+		if polName == "" {
+			polName = "Adaptive"
+		}
+		tp, err := adaptiveWorkloadThroughput(opt, cache, polName)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.name, idle, tp)
+	}
+	return t, nil
+}
+
+// adaptiveWorkloadThroughput runs the Figure 6 homogeneous workload
+// under the named policy ("Adaptive" routes through the adaptive
+// provider) and returns jobs/hour.
+func adaptiveWorkloadThroughput(opt Options, cache *dsCache, policy string) (float64, error) {
+	r := newRig(nil, true)
+	users := make([]*workload.User, opt.Users)
+	for u := 0; u < opt.Users; u++ {
+		name := fmt.Sprintf("li_ad_u%d", u)
+		ds, err := cache.get(opt.workloadSpec(0, name, int64(u+1)*19))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := r.load(ds, name); err != nil {
+			return 0, err
+		}
+		sess := hive.NewSession(r.jt, r.catalog, nil, fmt.Sprintf("user%d", u))
+		sess.Set("dynamic.job.policy", policy)
+		users[u] = &workload.User{
+			Name:  fmt.Sprintf("user%d", u),
+			Class: "Sampling",
+			Query: fmt.Sprintf("SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM %s WHERE %s LIMIT %d",
+				name, ds.Predicate(), opt.SampleK),
+			Session: sess,
+		}
+	}
+	res, err := workload.Run(r.eng, users, workload.Config{WarmupS: opt.WarmupS, MeasureS: opt.MeasureS})
+	if err != nil {
+		return 0, err
+	}
+	cs, _ := res.Class("Sampling")
+	return cs.ThroughputJobsPerHour, nil
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/core"
+)
+
+// tinyOptions shrinks the suite far enough for unit tests while keeping
+// partitions I/O-bound (several MB each).
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Scales = []int{2, 5}
+	o.Runs = 1
+	o.SampleK = 200
+	o.RowsPerScaleOverride = 400_000
+	// Workload cells: 25*8 = 200 partitions of 400k rows (~50 MB) per
+	// user, so 4 users oversubscribe the 160 slots 5x with I/O-bound
+	// maps — the regime the paper's multi-user results live in.
+	o.WorkloadRowsPerScaleOverride = 3_200_000
+	o.Users = 4
+	o.WarmupS = 100
+	o.MeasureS = 500
+	o.WorkloadScale = 25
+	o.SamplingFractions = []float64{0.25, 0.75}
+	return o
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"A", "BB"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x,y", 3.0)
+	out := tb.Render()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "2.5") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"x,y\",3") {
+		t.Fatalf("csv quoting failed:\n%s", csv)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tb := TableI()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("Table I has %d rows", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"Hadoop", "HA", "MA", "LA", "C", "max(0.5*TS, AS)", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tb, err := TableII(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// 5x row: 30M rows, 40 partitions, 15000 matches.
+	r := tb.Rows[0]
+	if r[0] != "5x" || r[1] != "30" || r[3] != "40" || r[4] != "15000" {
+		t.Fatalf("5x row = %v", r)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	tb := TableIII()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "L_DISCOUNT") || !strings.Contains(out, "0.05%") {
+		t.Fatalf("Table III:\n%s", out)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	tb, err := Figure4(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 40 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// First rank of z=2 should dominate z=1 which dominates z=0.
+	if !(tb.Rows[0][3] > tb.Rows[0][2]) {
+		t.Fatalf("z=2 top %s <= z=1 top %s", tb.Rows[0][3], tb.Rows[0][2])
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	res, err := Figure5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := res.Opt
+	maxScale := opt.Scales[len(opt.Scales)-1]
+	minScale := opt.Scales[0]
+
+	// 1. Hadoop response grows with input size.
+	small, _ := res.Cell(0, minScale, core.PolicyHadoop)
+	big, _ := res.Cell(0, maxScale, core.PolicyHadoop)
+	if big.ResponseS <= small.ResponseS {
+		t.Errorf("Hadoop response did not grow with scale: %v -> %v", small.ResponseS, big.ResponseS)
+	}
+
+	// 2. Hadoop is skew-independent (within 25%).
+	h0, _ := res.Cell(0, maxScale, core.PolicyHadoop)
+	h2, _ := res.Cell(2, maxScale, core.PolicyHadoop)
+	if h2.ResponseS > h0.ResponseS*1.25 || h2.ResponseS < h0.ResponseS*0.75 {
+		t.Errorf("Hadoop skew-dependent: z0=%v z2=%v", h0.ResponseS, h2.ResponseS)
+	}
+
+	// 3. On the idle cluster HA beats C.
+	ha, _ := res.Cell(1, maxScale, core.PolicyHA)
+	c, _ := res.Cell(1, maxScale, core.PolicyC)
+	if ha.ResponseS >= c.ResponseS {
+		t.Errorf("HA %v not faster than C %v on idle cluster", ha.ResponseS, c.ResponseS)
+	}
+
+	// 4. Dynamic policies process far fewer partitions than Hadoop.
+	had, _ := res.Cell(1, maxScale, core.PolicyHadoop)
+	la, _ := res.Cell(1, maxScale, core.PolicyLA)
+	if la.PartitionsProcessed >= had.PartitionsProcessed {
+		t.Errorf("LA processed %v partitions, Hadoop %v", la.PartitionsProcessed, had.PartitionsProcessed)
+	}
+	if had.PartitionsProcessed != float64(maxScale*8) {
+		t.Errorf("Hadoop processed %v, want all %d", had.PartitionsProcessed, maxScale*8)
+	}
+
+	// 5. Every policy produced the full sample.
+	for _, cell := range res.Cells {
+		if cell.SampleSize != float64(res.Opt.SampleK) {
+			t.Errorf("%s z=%g %dx produced %v records, want %d",
+				cell.Policy, cell.Z, cell.Scale, cell.SampleSize, res.Opt.SampleK)
+		}
+	}
+
+	// Rendering sanity.
+	tables := res.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d, want 4 (a-d)", len(tables))
+	}
+	if !strings.Contains(tables[3].Title, "partitions processed") {
+		t.Fatalf("missing 5(d): %s", tables[3].Title)
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	opt := tinyOptions()
+	// Keep runtime low: only the policies the assertions need.
+	opt.Policies = []string{core.PolicyLA, core.PolicyHadoop}
+	res, err := Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, ok1 := res.Cell(core.PolicyLA, 0)
+	had, ok2 := res.Cell(core.PolicyHadoop, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("missing cells")
+	}
+	// Multi-user: LA outperforms Hadoop in throughput.
+	if la.Throughput <= had.Throughput {
+		t.Errorf("LA throughput %v <= Hadoop %v under shared load", la.Throughput, had.Throughput)
+	}
+	// Hadoop burns at least as much disk per unit time.
+	if had.DiskReadKBs < la.DiskReadKBs {
+		t.Errorf("Hadoop disk %v < LA disk %v", had.DiskReadKBs, la.DiskReadKBs)
+	}
+	if len(res.Tables()) != 2 {
+		t.Fatalf("tables = %d", len(res.Tables()))
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	opt := tinyOptions()
+	opt.Policies = []string{core.PolicyLA, core.PolicyHadoop}
+	res, err := Figure7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-sampling class does better when the sampling class is
+	// conservative (LA vs Hadoop), at every fraction.
+	for _, f := range opt.SamplingFractions {
+		la, _ := res.Cell(f, core.PolicyLA)
+		had, _ := res.Cell(f, core.PolicyHadoop)
+		if la.NonSamplingThroughput <= had.NonSamplingThroughput {
+			t.Errorf("frac %g: non-sampling throughput LA %v <= Hadoop %v",
+				f, la.NonSamplingThroughput, had.NonSamplingThroughput)
+		}
+	}
+	// Sampling-class throughput rises with the sampling fraction.
+	lo, _ := res.Cell(opt.SamplingFractions[0], core.PolicyLA)
+	hi, _ := res.Cell(opt.SamplingFractions[len(opt.SamplingFractions)-1], core.PolicyLA)
+	if hi.SamplingThroughput <= lo.SamplingThroughput {
+		t.Errorf("sampling throughput did not rise with fraction: %v -> %v",
+			lo.SamplingThroughput, hi.SamplingThroughput)
+	}
+	if len(res.Tables()) != 3 {
+		t.Fatalf("tables = %d", len(res.Tables()))
+	}
+}
+
+func TestFigure8FairScheduler(t *testing.T) {
+	opt := tinyOptions()
+	opt.Policies = []string{core.PolicyLA}
+	opt.SamplingFractions = []float64{0.5}
+	fair, err := Figure8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := Figure7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := fair.Cell(0.5, core.PolicyLA)
+	dc, _ := fifo.Cell(0.5, core.PolicyLA)
+	// §V-F: Fair Scheduler trades occupancy for locality.
+	if fc.LocalityPct <= dc.LocalityPct {
+		t.Errorf("fair locality %v <= fifo locality %v", fc.LocalityPct, dc.LocalityPct)
+	}
+	if fc.OccupancyPct >= dc.OccupancyPct {
+		t.Errorf("fair occupancy %v >= fifo occupancy %v", fc.OccupancyPct, dc.OccupancyPct)
+	}
+	if fair.Scheduler == fifo.Scheduler {
+		t.Error("scheduler labels identical")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := Options{}
+	if _, err := Figure5(bad); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := TableII(bad); err == nil {
+		t.Error("empty options accepted by TableII")
+	}
+}
+
+func TestQuickOptionsValid(t *testing.T) {
+	if err := QuickOptions().validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultOptions().validate(); err != nil {
+		t.Fatal(err)
+	}
+}

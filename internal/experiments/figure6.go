@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynamicmr/internal/hive"
+	"dynamicmr/internal/metrics"
+	"dynamicmr/internal/workload"
+)
+
+// Figure6Cell is one (policy, skew) multi-user measurement.
+type Figure6Cell struct {
+	Policy       string
+	Z            float64
+	Throughput   float64 // jobs/hour
+	CPUUtilPct   float64
+	DiskReadKBs  float64
+	OccupancyPct float64
+}
+
+// Figure6Result holds the homogeneous multi-user study.
+type Figure6Result struct {
+	Opt   Options
+	Cells []Figure6Cell
+}
+
+// Figure6 reproduces the homogeneous multi-user experiment (§V-D): 10
+// closed-loop users, each repeatedly submitting the same sampling query
+// against their own copy of the dataset, on the 16-slot-per-node
+// cluster; throughput plus 30-second-interval CPU and disk readings per
+// policy, for uniform and highly-skewed distributions.
+func Figure6(opt Options) (*Figure6Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cache := newDSCache()
+	res := &Figure6Result{Opt: opt}
+	for _, z := range []float64{0, 2} {
+		for _, pol := range opt.Policies {
+			cell, err := figure6Cell(opt, cache, z, pol)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+func figure6Cell(opt Options, cache *dsCache, z float64, policy string) (Figure6Cell, error) {
+	r := newRig(nil, true) // 16 map slots/node
+	users := make([]*workload.User, opt.Users)
+	for u := 0; u < opt.Users; u++ {
+		// Per-user dataset copy (§V-D: "each works against a different
+		// copy of the dataset").
+		name := fmt.Sprintf("lineitem_u%d_z%g", u, z)
+		ds, err := cache.get(opt.workloadSpec(z, name, int64(u+1)*13))
+		if err != nil {
+			return Figure6Cell{}, err
+		}
+		if _, err := r.load(ds, name); err != nil {
+			return Figure6Cell{}, err
+		}
+		sess := hive.NewSession(r.jt, r.catalog, nil, fmt.Sprintf("user%d", u))
+		sess.Set("dynamic.job.policy", policy)
+		pred := ds.Predicate().String()
+		users[u] = &workload.User{
+			Name:    fmt.Sprintf("user%d", u),
+			Class:   "Sampling",
+			Query:   fmt.Sprintf("SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM %s WHERE %s LIMIT %d", name, pred, opt.SampleK),
+			Session: sess,
+		}
+	}
+	sampler := metrics.NewSampler(r.jt, 30)
+	sampler.Start()
+	results, err := workload.Run(r.eng, users, workload.Config{WarmupS: opt.WarmupS, MeasureS: opt.MeasureS})
+	if err != nil {
+		return Figure6Cell{}, fmt.Errorf("figure6 (z=%g policy=%s): %w", z, policy, err)
+	}
+	cpu, disk, occ := sampler.Averages(opt.WarmupS)
+	cs, _ := results.Class("Sampling")
+	return Figure6Cell{
+		Policy:       policy,
+		Z:            z,
+		Throughput:   cs.ThroughputJobsPerHour,
+		CPUUtilPct:   cpu,
+		DiskReadKBs:  disk,
+		OccupancyPct: occ,
+	}, nil
+}
+
+// Cell finds a measurement.
+func (r *Figure6Result) Cell(policy string, z float64) (Figure6Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Policy == policy && c.Z == z {
+			return c, true
+		}
+	}
+	return Figure6Cell{}, false
+}
+
+// Tables renders throughput, CPU and disk series per policy for the
+// uniform and highly-skewed cases.
+func (r *Figure6Result) Tables() []*Table {
+	var out []*Table
+	for _, z := range []float64{0, 2} {
+		label := "uniform distribution"
+		if z == 2 {
+			label = "highly skewed distribution (z=2)"
+		}
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 6: homogeneous multi-user workload, %s", label),
+			Columns: []string{"Policy", "Throughput (jobs/hour)", "CPU util (%)", "Disk reads (KB/s)", "Slot occupancy (%)"},
+		}
+		for _, p := range r.Opt.Policies {
+			c, _ := r.Cell(p, z)
+			t.AddRow(c.Policy, c.Throughput, c.CPUUtilPct, c.DiskReadKBs, c.OccupancyPct)
+		}
+		t.Notes = append(t.Notes,
+			"paper: Hadoop gives the least throughput with the highest CPU/disk usage; throughput rises toward LA as GrabLimit shrinks; C slightly below LA",
+		)
+		if z == 2 {
+			t.Notes = append(t.Notes, "paper: skew lowers throughput and raises resource usage for dynamic policies; Hadoop unaffected")
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynamicmr/internal/core"
+	"dynamicmr/internal/dataset"
+	"dynamicmr/internal/tpch"
+)
+
+// Options scales an experiment run. DefaultOptions reproduces the
+// paper's setup; QuickOptions shrinks datasets and windows roughly an
+// order of magnitude so the whole suite runs in seconds (used by
+// `go test -bench` and CI), preserving every qualitative shape.
+type Options struct {
+	// Scales are the dataset scale factors for Figure 5.
+	Scales []int
+	// Runs averages each Figure 5 cell over this many runs (paper: 5).
+	Runs int
+	// SampleK is the required sample size (paper: 10 000).
+	SampleK int64
+	// Selectivity of the planted predicates (paper: 0.05% = 0.0005).
+	Selectivity float64
+	// RowsPerScaleOverride, when > 0, substitutes for the TPC-H 6M
+	// rows/scale (quick mode).
+	RowsPerScaleOverride int64
+	// WorkloadRowsPerScaleOverride, when > 0, applies to the multi-user
+	// datasets (Figures 6-8) instead of RowsPerScaleOverride. The
+	// multi-user contention effects require partitions to stay
+	// I/O-dominated, so quick configurations shrink the partition count
+	// (via WorkloadScale) but not the per-partition volume.
+	WorkloadRowsPerScaleOverride int64
+	// Users is the multi-user workload size (paper: 10).
+	Users int
+	// WarmupS and MeasureS bound workload runs.
+	WarmupS  float64
+	MeasureS float64
+	// WorkloadScale is the dataset scale for Figures 6–8 (paper: 100).
+	WorkloadScale int
+	// SamplingFractions for Figures 7–8 (paper: 0.2–0.8).
+	SamplingFractions []float64
+	// Policies to evaluate (default: all of Table I).
+	Policies []string
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+}
+
+// DefaultOptions is the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		Scales:            []int{5, 10, 20, 40, 100},
+		Runs:              5,
+		SampleK:           10_000,
+		Selectivity:       dataset.DefaultSelectivity,
+		Users:             10,
+		WarmupS:           600,
+		MeasureS:          3600,
+		WorkloadScale:     100,
+		SamplingFractions: []float64{0.2, 0.4, 0.6, 0.8},
+		Policies:          []string{core.PolicyC, core.PolicyLA, core.PolicyMA, core.PolicyHA, core.PolicyHadoop},
+		Seed:              1,
+	}
+}
+
+// QuickOptions shrinks everything for fast regeneration: smaller
+// scales (same 20x spread), 1 run per cell, shorter windows, and a
+// 600k-rows-per-scale substitute that keeps partitions I/O-bound.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Scales = []int{5, 10, 20}
+	o.Runs = 1
+	o.SampleK = 1_000
+	o.RowsPerScaleOverride = 600_000
+	o.WorkloadRowsPerScaleOverride = 2_400_000 // 300k rows/partition
+	o.WarmupS = 200
+	o.MeasureS = 1200
+	o.WorkloadScale = 20
+	o.SamplingFractions = []float64{0.2, 0.5, 0.8}
+	return o
+}
+
+func (o Options) validate() error {
+	if len(o.Scales) == 0 || o.Runs <= 0 || o.SampleK <= 0 || o.Users <= 0 {
+		return fmt.Errorf("experiments: incomplete options %+v", o)
+	}
+	if len(o.Policies) == 0 {
+		return fmt.Errorf("experiments: no policies selected")
+	}
+	return nil
+}
+
+// datasetSpec builds the Spec for one (scale, z) cell.
+func (o Options) datasetSpec(scale int, z float64, name string, seedOffset int64) dataset.Spec {
+	spec := dataset.Spec{
+		Name:        name,
+		Scale:       scale,
+		Seed:        o.Seed + seedOffset,
+		Z:           z,
+		Selectivity: o.Selectivity,
+		Partitions:  scale * dataset.PartitionsPerScale,
+	}
+	if o.RowsPerScaleOverride > 0 {
+		spec.RowsOverride = int64(scale) * o.RowsPerScaleOverride
+	}
+	return spec
+}
+
+// workloadSpec builds the Spec for a Figures 6-8 per-user dataset.
+func (o Options) workloadSpec(z float64, name string, seedOffset int64) dataset.Spec {
+	spec := o.datasetSpec(o.WorkloadScale, z, name, seedOffset)
+	if o.WorkloadRowsPerScaleOverride > 0 {
+		spec.RowsOverride = int64(o.WorkloadScale) * o.WorkloadRowsPerScaleOverride
+	}
+	return spec
+}
+
+// rowsPerScale returns the effective rows per unit scale.
+func (o Options) rowsPerScale() int64 {
+	if o.RowsPerScaleOverride > 0 {
+		return o.RowsPerScaleOverride
+	}
+	return tpch.RowsPerScale
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dataset"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/hive"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sim"
+	"dynamicmr/internal/tpch"
+)
+
+// rig is one experiment's simulated test bench.
+type rig struct {
+	eng     *sim.Engine
+	cl      *cluster.Cluster
+	fs      *dfs.DFS
+	jt      *mapreduce.JobTracker
+	catalog *hive.Catalog
+}
+
+// newRig builds a fresh cluster; multiUser selects the 16-slot
+// configuration of §V-D.
+func newRig(sched mapreduce.TaskScheduler, multiUser bool) *rig {
+	eng := sim.NewEngine()
+	cfg := cluster.PaperConfig()
+	if multiUser {
+		cfg = cfg.MultiUser()
+	}
+	cl := cluster.New(eng, cfg)
+	return &rig{
+		eng:     eng,
+		cl:      cl,
+		fs:      dfs.New(cl),
+		jt:      mapreduce.NewJobTracker(cl, mapreduce.DefaultConfig(), sched),
+		catalog: hive.NewCatalog(),
+	}
+}
+
+// load stores a dataset in the rig's DFS and registers it as a table.
+func (r *rig) load(ds *dataset.Dataset, name string) (*dfs.File, error) {
+	srcs := make([]data.Source, ds.NumPartitions())
+	for i, p := range ds.Partitions() {
+		srcs[i] = p
+	}
+	f, err := r.fs.Create(name, srcs, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.catalog.Register(&hive.Table{Name: name, Schema: tpch.LineItemSchema, File: f}); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// dsCache memoises dataset builds across cells: datasets are pure
+// values independent of any engine, so one build serves every policy
+// and run of a cell.
+type dsCache struct {
+	mu sync.Mutex
+	m  map[string]*dataset.Dataset
+}
+
+func newDSCache() *dsCache { return &dsCache{m: make(map[string]*dataset.Dataset)} }
+
+func (c *dsCache) get(spec dataset.Spec) (*dataset.Dataset, error) {
+	key := fmt.Sprintf("%s|%d|%g|%g|%d|%d|%d",
+		spec.Name, spec.Scale, spec.Z, spec.Selectivity, spec.Partitions, spec.Seed, spec.RowsOverride)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ds, ok := c.m[key]; ok {
+		return ds, nil
+	}
+	ds, err := dataset.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = ds
+	return ds, nil
+}

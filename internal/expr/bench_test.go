@@ -1,0 +1,45 @@
+package expr
+
+import (
+	"testing"
+
+	"dynamicmr/internal/data"
+)
+
+func benchRecord() data.Record {
+	s := data.NewSchema("L_QUANTITY", "L_SHIPMODE", "L_DISCOUNT")
+	return data.NewRecord(s, []data.Value{data.Int(42), data.Str("RAIL"), data.Float(0.05)})
+}
+
+func BenchmarkPredicateEvalSimple(b *testing.B) {
+	r := benchRecord()
+	e := &Binary{Op: OpGt, L: &Column{Name: "L_QUANTITY"}, R: &Literal{Val: data.Int(50)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBool(e, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredicateEvalCompound(b *testing.B) {
+	r := benchRecord()
+	e := &Binary{Op: OpAnd,
+		L: &Binary{Op: OpGt, L: &Column{Name: "L_QUANTITY"}, R: &Literal{Val: data.Int(10)}},
+		R: &Binary{Op: OpOr,
+			L: &Binary{Op: OpEq, L: &Column{Name: "L_SHIPMODE"}, R: &Literal{Val: data.Str("RAIL")}},
+			R: &Between{X: &Column{Name: "L_DISCOUNT"}, Lo: &Literal{Val: data.Float(0.01)}, Hi: &Literal{Val: data.Float(0.1)}},
+		}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBool(e, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLikeMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = likeMatch("%foxes%hag%", "quickly foxes haggle blithely")
+	}
+}

@@ -1,0 +1,22 @@
+package hive
+
+import "testing"
+
+func BenchmarkParseQuery(b *testing.B) {
+	const q = "SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM LINEITEM WHERE L_QUANTITY > 50 AND L_SHIPMODE IN ('RAIL','AIR') LIMIT 10000"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParsePredicate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePredicate("L_EXTENDEDPRICE * (1 - L_DISCOUNT) > 900 AND L_SHIPDATE BETWEEN '1994-01-01' AND '1994-12-31'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package hive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+)
+
+// Table is a catalog entry: a named schema over a DFS file.
+type Table struct {
+	Name   string
+	Schema *data.Schema
+	File   *dfs.File
+}
+
+// Catalog maps table names to their storage (the Hive metastore's role
+// here).
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds a table; duplicate names are an error.
+func (c *Catalog) Register(t *Table) error {
+	if t.Name == "" || t.Schema == nil || t.File == nil {
+		return fmt.Errorf("hive: table needs name, schema and file")
+	}
+	key := strings.ToLower(t.Name)
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("hive: table %q already registered", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Lookup resolves a table name (case-insensitive).
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("hive: table %q not found", name)
+	}
+	return t, nil
+}
+
+// Names returns registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

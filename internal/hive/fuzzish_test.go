@@ -1,0 +1,98 @@
+package hive
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanicsOnRandomBytes feeds arbitrary byte soup to the
+// parser: it must return (AST, nil) or (nil, error), never panic.
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(input string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", input, r)
+			}
+		}()
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup stresses the parser with random
+// sequences of *valid* SQL tokens, which reach much deeper into the
+// grammar than raw bytes do.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "LIMIT", "AND", "OR", "NOT", "BETWEEN",
+		"IN", "LIKE", "SET", "EXPLAIN", "SHOW", "TABLES", "DESCRIBE",
+		"TRUE", "FALSE", "NULL", "lineitem", "L_QUANTITY", "*", ",", "(",
+		")", "=", "<", ">", "<=", ">=", "!=", "+", "-", "/", "5", "0.05",
+		"'RAIL'", ";",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(12)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = vocab[rng.Intn(len(vocab))]
+		}
+		input := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestValidQueriesAlwaysReparse: whatever the parser accepts and
+// renders must be accepted again and render identically (print/parse
+// fixpoint over generated queries).
+func TestValidQueriesAlwaysReparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cols := []string{"A", "B", "C"}
+	lits := []string{"1", "2.5", "'x'", "TRUE"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	var predicate func(depth int) string
+	predicate = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return cols[rng.Intn(len(cols))] + " " + ops[rng.Intn(len(ops))] + " " + lits[rng.Intn(len(lits))]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return "(" + predicate(depth-1) + " AND " + predicate(depth-1) + ")"
+		case 1:
+			return "(" + predicate(depth-1) + " OR " + predicate(depth-1) + ")"
+		case 2:
+			return "NOT (" + predicate(depth-1) + ")"
+		default:
+			return cols[rng.Intn(len(cols))] + " BETWEEN 1 AND 10"
+		}
+	}
+	for i := 0; i < 300; i++ {
+		q := "SELECT A, B FROM t WHERE " + predicate(3)
+		if rng.Intn(2) == 0 {
+			q += " LIMIT 10"
+		}
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("generated query rejected: %q: %v", q, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("reparse rejected: %q: %v", s1, err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("fixpoint failed:\n%s\n%s", s1, s2)
+		}
+	}
+}

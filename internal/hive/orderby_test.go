@@ -1,0 +1,111 @@
+package hive
+
+import (
+	"testing"
+)
+
+func TestParseOrderBy(t *testing.T) {
+	sel := parseSelect(t, "SELECT A, B FROM t ORDER BY B DESC, A LIMIT 5")
+	if len(sel.OrderBy) != 2 {
+		t.Fatalf("order keys = %d", len(sel.OrderBy))
+	}
+	if sel.OrderBy[0].Column != "B" || !sel.OrderBy[0].Desc {
+		t.Fatalf("first key = %+v", sel.OrderBy[0])
+	}
+	if sel.OrderBy[1].Column != "A" || sel.OrderBy[1].Desc {
+		t.Fatalf("second key = %+v", sel.OrderBy[1])
+	}
+	// Fixpoint.
+	s2 := parseSelect(t, sel.String())
+	if sel.String() != s2.String() {
+		t.Fatalf("fixpoint:\n%s\n%s", sel, s2)
+	}
+	// ASC is accepted and default.
+	sel = parseSelect(t, "SELECT A FROM t ORDER BY A ASC")
+	if sel.OrderBy[0].Desc {
+		t.Fatal("ASC parsed as DESC")
+	}
+}
+
+func TestParseOrderByAggregate(t *testing.T) {
+	sel := parseSelect(t,
+		"SELECT L_RETURNFLAG, COUNT(*) FROM t GROUP BY L_RETURNFLAG ORDER BY COUNT(*) DESC")
+	if sel.OrderBy[0].Column != "COUNT(*)" || !sel.OrderBy[0].Desc {
+		t.Fatalf("key = %+v", sel.OrderBy[0])
+	}
+}
+
+func TestParseOrderByErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT A FROM t ORDER A",
+		"SELECT A FROM t ORDER BY",
+		"SELECT A FROM t ORDER BY 5",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) accepted", q)
+		}
+	}
+}
+
+func TestOrderByExecution(t *testing.T) {
+	r := newSessionRig(t, 0)
+	s := r.session("ord")
+	res, err := s.Execute(
+		"SELECT L_ORDERKEY, L_QUANTITY FROM lineitem WHERE L_DISCOUNT = 0.11 ORDER BY L_QUANTITY DESC, L_ORDERKEY LIMIT 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Sorted descending by quantity, ties ascending by orderkey.
+	for i := 1; i < len(res.Rows); i++ {
+		q0 := res.Rows[i-1].MustGet("L_QUANTITY").AsInt()
+		q1 := res.Rows[i].MustGet("L_QUANTITY").AsInt()
+		if q1 > q0 {
+			t.Fatalf("rows %d/%d out of order: %d then %d", i-1, i, q0, q1)
+		}
+		if q1 == q0 {
+			k0 := res.Rows[i-1].MustGet("L_ORDERKEY").AsInt()
+			k1 := res.Rows[i].MustGet("L_ORDERKEY").AsInt()
+			if k1 < k0 {
+				t.Fatalf("tie-break out of order: %d then %d", k0, k1)
+			}
+		}
+	}
+	// ORDER BY must force a full static scan (top-k, not a sample).
+	if res.Client != nil {
+		t.Fatal("ORDER BY query ran dynamically")
+	}
+	if res.Job.CompletedMaps() != r.ds.NumPartitions() {
+		t.Fatalf("processed %d partitions, want all", res.Job.CompletedMaps())
+	}
+}
+
+func TestOrderByWithAggregates(t *testing.T) {
+	r := newSessionRig(t, 0)
+	s := r.session("orda")
+	res, err := s.Execute(
+		"SELECT L_LINENUMBER, COUNT(*) FROM lineitem GROUP BY L_LINENUMBER ORDER BY COUNT(*) DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].MustGet("COUNT(*)").AsInt() < res.Rows[1].MustGet("COUNT(*)").AsInt() {
+		t.Fatal("aggregate ordering wrong")
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	r := newSessionRig(t, 0)
+	s := r.session("ordbad")
+	if _, err := s.Execute("SELECT L_ORDERKEY FROM lineitem ORDER BY NOPE"); err == nil {
+		t.Fatal("unknown order column accepted")
+	}
+	// Column not in the projection is also rejected.
+	if _, err := s.Execute("SELECT L_ORDERKEY FROM lineitem ORDER BY L_QUANTITY"); err == nil {
+		t.Fatal("order by non-projected column accepted")
+	}
+}

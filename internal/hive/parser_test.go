@@ -1,0 +1,213 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/expr"
+)
+
+func parseSelect(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want SelectStmt", sql, stmt)
+	}
+	return sel
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// The §V-B query template.
+	sel := parseSelect(t,
+		"SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM WHERE L_QUANTITY > 50 LIMIT 10000")
+	cols := sel.Columns()
+	if len(cols) != 3 || cols[0] != "ORDERKEY" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if sel.Table != "LINEITEM" {
+		t.Fatalf("table = %q", sel.Table)
+	}
+	if sel.Limit != 10000 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+	if sel.Where == nil || sel.Where.String() != "(L_QUANTITY > 50)" {
+		t.Fatalf("where = %v", sel.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t")
+	if sel.Items != nil || sel.Columns() != nil {
+		t.Fatalf("items = %v, want nil (*)", sel.Items)
+	}
+	if sel.Limit != -1 {
+		t.Fatalf("limit = %d, want -1 (absent)", sel.Limit)
+	}
+	if sel.Where != nil {
+		t.Fatal("where should be absent")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"a = 1 AND b = 2 OR c = 3":     "(((A = 1) AND (B = 2)) OR (C = 3))",
+		"a = 1 OR b = 2 AND c = 3":     "((A = 1) OR ((B = 2) AND (C = 3)))",
+		"NOT a = 1 AND b = 2":          "((NOT (A = 1)) AND (B = 2))",
+		"a + b * c = 7":                "((A + (B * C)) = 7)",
+		"(a + b) * c = 7":              "(((A + B) * C) = 7)",
+		"a - b - c = 0":                "(((A - B) - C) = 0)",
+		"a BETWEEN 1 AND 10":           "(A BETWEEN 1 AND 10)",
+		"a NOT BETWEEN 1 AND 10":       "(NOT (A BETWEEN 1 AND 10))",
+		"s IN ('x', 'y')":              "(S IN ('x', 'y'))",
+		"s NOT IN ('x')":               "(NOT (S IN ('x')))",
+		"s LIKE 'RA%'":                 "(S LIKE 'RA%')",
+		"s NOT LIKE '%z'":              "(NOT (S LIKE '%z'))",
+		"a != 2":                       "(A != 2)",
+		"a <> 2":                       "(A != 2)",
+		"a <= 0.05":                    "(A <= 0.05)",
+		"d = '1994-01-01'":             "(D = '1994-01-01')",
+		"-a < -5":                      "((-A) < -5)",
+		"price * (1 - discount) > 900": "((PRICE * (1 - DISCOUNT)) > 900)",
+	}
+	for src, want := range cases {
+		e, err := ParsePredicate(src)
+		if err != nil {
+			t.Errorf("ParsePredicate(%q): %v", src, err)
+			continue
+		}
+		if e.String() != want {
+			t.Errorf("ParsePredicate(%q) = %s, want %s", src, e, want)
+		}
+	}
+}
+
+func TestPredicateEvaluates(t *testing.T) {
+	schema := data.NewSchema("Q", "MODE")
+	rec := data.NewRecord(schema, []data.Value{data.Int(55), data.Str("RAIL")})
+	e, err := ParsePredicate("q > 50 AND mode IN ('RAIL','AIR')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := expr.EvalBool(e, rec)
+	if err != nil || !ok {
+		t.Fatalf("eval = %v, %v", ok, err)
+	}
+}
+
+func TestParseReparseFixpoint(t *testing.T) {
+	queries := []string{
+		"SELECT A, B FROM t WHERE (A > 1) AND (B LIKE 'x%') LIMIT 5",
+		"SELECT * FROM lineitem WHERE L_DISCOUNT = 0.11",
+		"SELECT C FROM t WHERE C BETWEEN 1 AND 2 LIMIT 0",
+	}
+	for _, q := range queries {
+		s1 := parseSelect(t, q)
+		s2 := parseSelect(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("fixpoint failed:\n1: %s\n2: %s", s1, s2)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	stmt, err := Parse("SET dynamic.job.policy = LA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, ok := stmt.(*SetStmt)
+	if !ok || set.Key != "dynamic.job.policy" || set.Value != "LA" {
+		t.Fatalf("parsed %+v", stmt)
+	}
+	stmt, _ = Parse("SET hive.exec.deadline.seconds = 3600;")
+	if set := stmt.(*SetStmt); set.Value != "3600" {
+		t.Fatalf("value = %q", set.Value)
+	}
+}
+
+func TestParseOtherStatements(t *testing.T) {
+	if _, err := Parse("SHOW TABLES"); err != nil {
+		t.Error(err)
+	}
+	stmt, err := Parse("DESCRIBE lineitem")
+	if err != nil {
+		t.Error(err)
+	}
+	if d := stmt.(*DescribeStmt); d.Table != "lineitem" {
+		t.Errorf("table = %q", d.Table)
+	}
+	stmt, err = Parse("EXPLAIN SELECT * FROM t LIMIT 3")
+	if err != nil {
+		t.Error(err)
+	}
+	if e := stmt.(*ExplainStmt); e.Select.Limit != 3 {
+		t.Errorf("explain select = %+v", e.Select)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT a b FROM t",
+		"SELECT * FROM t WHERE a >",
+		"SELECT * FROM t WHERE a LIKE 5",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE 'unterminated",
+		"SET x",
+		"SET = 5",
+		"SHOW",
+		"DESCRIBE",
+		"SELECT * FROM t; extra",
+		"SELECT * FROM t WHERE a NOT",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) accepted", q)
+		}
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	e, err := ParsePredicate("name = 'o''neil'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "o''neil") {
+		t.Fatalf("escaped quote lost: %s", e)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t -- trailing comment\nWHERE a = 1")
+	if sel.Where == nil {
+		t.Fatal("comment swallowed WHERE clause")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	sel := parseSelect(t, "select a from T where a between 1 and 2 limit 7")
+	if sel.Limit != 7 || sel.Where == nil {
+		t.Fatalf("parsed %+v", sel)
+	}
+}
+
+func TestBoolLiterals(t *testing.T) {
+	e, err := ParsePredicate("TRUE OR FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := expr.EvalBool(e, data.NewRecord(data.NewSchema("X"), []data.Value{data.Int(0)}))
+	if err != nil || !ok {
+		t.Fatalf("TRUE OR FALSE = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,154 @@
+package mapreduce
+
+import (
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+)
+
+// KeyValue is an intermediate or output pair. Keys are strings (the
+// paper's sampling job uses a single dummy key); values are records.
+type KeyValue struct {
+	Key   string
+	Value data.Record
+}
+
+// Collector accumulates the pairs emitted by a map or reduce function,
+// plus any user-defined counters the function increments (Hadoop's
+// custom counters; the Input Provider consumes the built-in ones, and
+// user code may report additional statistics the same way).
+type Collector struct {
+	pairs    []KeyValue
+	bytes    int64
+	counters map[string]int64
+}
+
+// Inc adds delta to the named user counter.
+func (c *Collector) Inc(name string, delta int64) {
+	if c.counters == nil {
+		c.counters = make(map[string]int64)
+	}
+	c.counters[name] += delta
+}
+
+// UserCounters returns the counters incremented so far (nil if none).
+func (c *Collector) UserCounters() map[string]int64 { return c.counters }
+
+// Emit outputs one pair.
+func (c *Collector) Emit(key string, value data.Record) {
+	c.pairs = append(c.pairs, KeyValue{Key: key, Value: value})
+	c.bytes += int64(len(key) + value.EncodedSize())
+}
+
+// Pairs returns everything emitted so far.
+func (c *Collector) Pairs() []KeyValue { return c.pairs }
+
+// Len returns the number of emitted pairs.
+func (c *Collector) Len() int { return len(c.pairs) }
+
+// Bytes returns the encoded size of the emitted pairs.
+func (c *Collector) Bytes() int64 { return c.bytes }
+
+// TaskContext gives user code access to its configuration and split.
+type TaskContext struct {
+	// Conf is the job configuration.
+	Conf *JobConf
+	// SplitIndex is the ordinal of the split among the job's scheduled
+	// splits (map tasks only; -1 for reduce).
+	SplitIndex int
+	// Source is the split's record source (map tasks only).
+	Source data.Source
+}
+
+// Mapper is the user-defined map function, invoked once per input
+// record: map(k1, v1) -> list(k2, v2).
+type Mapper interface {
+	// Map processes one record, emitting zero or more pairs.
+	Map(rec data.Record, out *Collector) error
+}
+
+// SetupMapper is an optional extension: Setup runs before the first
+// record, Cleanup after the last.
+type SetupMapper interface {
+	Mapper
+	Setup(ctx *TaskContext) error
+	Cleanup(out *Collector) error
+}
+
+// SplitMapper is an optional extension that takes control of scanning
+// the whole split instead of being fed record-at-a-time. A mapper that
+// can exploit structure in the split's Source (e.g. the dataset
+// package's accelerated match path) implements this; the runtime still
+// charges full-split I/O and CPU either way.
+type SplitMapper interface {
+	Mapper
+	MapSplit(ctx *TaskContext, out *Collector) error
+}
+
+// Reducer is the user-defined reduce function:
+// reduce(k2, list(v2)) -> list(k3, v3).
+type Reducer interface {
+	// Reduce processes one key and all its values.
+	Reduce(key string, values []data.Record, out *Collector) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(rec data.Record, out *Collector) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(rec data.Record, out *Collector) error { return f(rec, out) }
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key string, values []data.Record, out *Collector) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values []data.Record, out *Collector) error {
+	return f(key, values, out)
+}
+
+// IdentityReducer passes every (key, value) through unchanged.
+var IdentityReducer = ReducerFunc(func(key string, values []data.Record, out *Collector) error {
+	for _, v := range values {
+		out.Emit(key, v)
+	}
+	return nil
+})
+
+// Split is one unit of map input: a DFS block.
+type Split struct {
+	Block *dfs.Block
+}
+
+// SizeBytes returns the split length.
+func (s Split) SizeBytes() int64 { return s.Block.SizeBytes() }
+
+// NumRecords returns the split's record count.
+func (s Split) NumRecords() int64 { return s.Block.NumRecords() }
+
+// SplitsForFile wraps every block of a DFS file as a Split.
+func SplitsForFile(f *dfs.File) []Split {
+	out := make([]Split, len(f.Blocks))
+	for i, b := range f.Blocks {
+		out[i] = Split{Block: b}
+	}
+	return out
+}
+
+// JobSpec describes a job: configuration plus factories for the user
+// logic. Factories are called once per task attempt, so a mapper may
+// keep per-task state (as Hadoop's do).
+type JobSpec struct {
+	// Conf is the job configuration; nil means an empty conf.
+	Conf *JobConf
+	// NewMapper builds the map logic for one task attempt.
+	NewMapper func(conf *JobConf) Mapper
+	// NewCombiner, when set, builds a combiner applied to each map
+	// task's output before the shuffle (Hadoop's combiner): pairs are
+	// grouped by key and fed through it, shrinking shuffle volume for
+	// aggregation jobs.
+	NewCombiner func(conf *JobConf) Reducer
+	// NewReducer builds the reduce logic for one task attempt; nil
+	// means IdentityReducer.
+	NewReducer func(conf *JobConf) Reducer
+	// OnComplete, if set, fires when the job finishes (in virtual time).
+	OnComplete func(j *Job)
+}

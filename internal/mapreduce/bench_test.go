@@ -1,0 +1,60 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/sim"
+)
+
+// BenchmarkStaticJob measures simulating one 40-map static job end to
+// end (scheduling, physics, shuffle, reduce).
+func BenchmarkStaticJob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cl := cluster.New(eng, cluster.PaperConfig())
+		fs := dfs.New(cl)
+		schema := data.NewSchema("V")
+		var srcs []data.Source
+		for p := 0; p < 40; p++ {
+			recs := make([]data.Record, 100)
+			for j := range recs {
+				recs[j] = data.NewRecord(schema, []data.Value{data.Int(int64(j))})
+			}
+			srcs = append(srcs, data.NewSliceSource(schema, recs))
+		}
+		f, err := fs.Create("in", srcs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jt := NewJobTracker(cl, DefaultConfig(), nil)
+		job := jt.Submit(JobSpec{
+			NewMapper: func(*JobConf) Mapper {
+				return MapperFunc(func(rec data.Record, out *Collector) error {
+					out.Emit("k", rec)
+					return nil
+				})
+			},
+		}, SplitsForFile(f))
+		if !RunUntilDone(eng, job, 1e6) {
+			b.Fatal("job stuck")
+		}
+	}
+}
+
+func BenchmarkHeartbeatScheduling(b *testing.B) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	jt := NewJobTracker(cl, DefaultConfig(), nil)
+	jt.Submit(JobSpec{NewMapper: func(*JobConf) Mapper {
+		return MapperFunc(func(data.Record, *Collector) error { return nil })
+	}}, nil)
+	b.ResetTimer()
+	deadline := 0.0
+	for i := 0; i < b.N; i++ {
+		deadline += 1
+		eng.RunUntil(deadline)
+	}
+}

@@ -1,0 +1,29 @@
+package mapreduce
+
+import "dynamicmr/internal/sim"
+
+// RunUntilDone drives the engine until the job reaches a terminal state
+// or the virtual deadline passes, and reports whether the job finished.
+// Because heartbeats keep the event queue non-empty forever, drivers
+// step the engine under a condition instead of calling Run.
+func RunUntilDone(eng *sim.Engine, j *Job, deadline float64) bool {
+	for !j.Done() && eng.Now() < deadline && eng.Step() {
+	}
+	return j.Done()
+}
+
+// RunAllUntilDone drives the engine until every listed job finishes or
+// the deadline passes.
+func RunAllUntilDone(eng *sim.Engine, jobs []*Job, deadline float64) bool {
+	alldone := func() bool {
+		for _, j := range jobs {
+			if !j.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	for !alldone() && eng.Now() < deadline && eng.Step() {
+	}
+	return alldone()
+}

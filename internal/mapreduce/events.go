@@ -1,0 +1,97 @@
+package mapreduce
+
+import "fmt"
+
+// TaskEventType classifies runtime events.
+type TaskEventType uint8
+
+// Task lifecycle events observable via JobTracker.Subscribe.
+const (
+	// EventJobSubmitted fires at job submission.
+	EventJobSubmitted TaskEventType = iota
+	// EventMapStarted fires when a map attempt occupies a slot.
+	EventMapStarted
+	// EventMapFinished fires when a map attempt completes successfully.
+	EventMapFinished
+	// EventMapFailed fires when a map attempt fails.
+	EventMapFailed
+	// EventMapKilled fires when a racing attempt is cancelled.
+	EventMapKilled
+	// EventReduceStarted fires when a reduce attempt occupies a slot.
+	EventReduceStarted
+	// EventReduceFinished fires when a reduce attempt completes.
+	EventReduceFinished
+	// EventJobFinished fires at job termination (success or failure).
+	EventJobFinished
+)
+
+// String names the event type.
+func (t TaskEventType) String() string {
+	switch t {
+	case EventJobSubmitted:
+		return "JOB_SUBMITTED"
+	case EventMapStarted:
+		return "MAP_STARTED"
+	case EventMapFinished:
+		return "MAP_FINISHED"
+	case EventMapFailed:
+		return "MAP_FAILED"
+	case EventMapKilled:
+		return "MAP_KILLED"
+	case EventReduceStarted:
+		return "REDUCE_STARTED"
+	case EventReduceFinished:
+		return "REDUCE_FINISHED"
+	case EventJobFinished:
+		return "JOB_FINISHED"
+	default:
+		return fmt.Sprintf("TaskEventType(%d)", uint8(t))
+	}
+}
+
+// TaskEvent is one observable runtime occurrence.
+type TaskEvent struct {
+	// Time in virtual seconds.
+	Time float64
+	Type TaskEventType
+	// JobID identifies the job.
+	JobID int
+	// TaskIndex is the map/reduce task ordinal (-1 for job events).
+	TaskIndex int
+	// Node is the executing node (-1 when not applicable).
+	Node int
+	// Attempt is the attempt ordinal (1-based; 0 when not applicable).
+	Attempt int
+	// Speculative marks backup attempts.
+	Speculative bool
+}
+
+// String renders the event as one log line.
+func (e TaskEvent) String() string {
+	spec := ""
+	if e.Speculative {
+		spec = " (speculative)"
+	}
+	return fmt.Sprintf("t=%8.2fs job=%d %-16s task=%d node=%d attempt=%d%s",
+		e.Time, e.JobID, e.Type, e.TaskIndex, e.Node, e.Attempt, spec)
+}
+
+// Subscribe registers a listener for runtime events. Listeners are
+// called synchronously in subscription order; they must not mutate the
+// tracker. Passing nil is a no-op.
+func (jt *JobTracker) Subscribe(fn func(TaskEvent)) {
+	if fn != nil {
+		jt.listeners = append(jt.listeners, fn)
+	}
+}
+
+// emit publishes an event to all listeners.
+func (jt *JobTracker) emit(e TaskEvent) {
+	if len(jt.listeners) == 0 {
+		return
+	}
+	e.Time = jt.eng.Now()
+	for _, fn := range jt.listeners {
+		fn(e)
+	}
+}

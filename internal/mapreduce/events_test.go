@@ -1,0 +1,108 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/data"
+)
+
+func TestEventLogCoversLifecycle(t *testing.T) {
+	r := newRig(t, nil)
+	var events []TaskEvent
+	r.jt.Subscribe(func(e TaskEvent) { events = append(events, e) })
+	f := r.makeFile(t, "in", 4, 10)
+	job := r.jt.Submit(JobSpec{
+		NewMapper: func(*JobConf) Mapper { return dummyKeyMapper{} },
+	}, SplitsForFile(f))
+	if !RunUntilDone(r.eng, job, 1e6) {
+		t.Fatal("job stuck")
+	}
+	count := map[TaskEventType]int{}
+	lastT := -1.0
+	for _, e := range events {
+		count[e.Type]++
+		if e.Time < lastT {
+			t.Fatalf("event times regress: %v after %v", e.Time, lastT)
+		}
+		lastT = e.Time
+		if e.JobID != job.ID {
+			t.Fatalf("foreign job id in event: %+v", e)
+		}
+	}
+	if count[EventJobSubmitted] != 1 || count[EventJobFinished] != 1 {
+		t.Fatalf("job events: %+v", count)
+	}
+	if count[EventMapStarted] != 4 || count[EventMapFinished] != 4 {
+		t.Fatalf("map events: %+v", count)
+	}
+	if count[EventReduceStarted] != 1 || count[EventReduceFinished] != 1 {
+		t.Fatalf("reduce events: %+v", count)
+	}
+	// Rendering sanity.
+	if !strings.Contains(events[0].String(), "JOB_SUBMITTED") {
+		t.Fatalf("event string: %s", events[0])
+	}
+}
+
+func TestEventLogRecordsFailures(t *testing.T) {
+	r := newRig(t, nil)
+	var failed, finished int
+	r.jt.Subscribe(func(e TaskEvent) {
+		switch e.Type {
+		case EventMapFailed:
+			failed++
+		case EventMapFinished:
+			finished++
+		}
+	})
+	r.jt.cfg.FailureInjector = func(j *Job, mt *MapTask) bool {
+		return mt.Index == 0 && mt.Attempts == 1
+	}
+	f := r.makeFile(t, "in", 2, 10)
+	job := r.jt.Submit(JobSpec{
+		NewMapper: func(*JobConf) Mapper { return dummyKeyMapper{} },
+	}, SplitsForFile(f))
+	RunUntilDone(r.eng, job, 1e6)
+	if failed != 1 || finished != 2 {
+		t.Fatalf("failed=%d finished=%d", failed, finished)
+	}
+}
+
+func TestUserCounters(t *testing.T) {
+	r := newRig(t, nil)
+	f := r.makeFile(t, "in", 4, 25)
+	job := r.jt.Submit(JobSpec{
+		NewMapper: func(*JobConf) Mapper {
+			return MapperFunc(func(rec data.Record, out *Collector) error {
+				out.Emit("k", rec)
+				out.Inc("records.seen", 1)
+				if rec.MustGet("K").AsInt()%2 == 0 {
+					out.Inc("records.even", 1)
+				}
+				return nil
+			})
+		},
+		NewReducer: func(*JobConf) Reducer {
+			return ReducerFunc(func(key string, vals []data.Record, out *Collector) error {
+				out.Inc("reduce.groups", 1)
+				return nil
+			})
+		},
+	}, SplitsForFile(f))
+	if !RunUntilDone(r.eng, job, 1e6) {
+		t.Fatal("job stuck")
+	}
+	if got := job.Counters.UserCounter("records.seen"); got != 100 {
+		t.Fatalf("records.seen = %d, want 100", got)
+	}
+	if got := job.Counters.UserCounter("records.even"); got != 50 {
+		t.Fatalf("records.even = %d, want 50", got)
+	}
+	if got := job.Counters.UserCounter("reduce.groups"); got != 1 {
+		t.Fatalf("reduce.groups = %d, want 1", got)
+	}
+	if job.Counters.UserCounter("never") != 0 {
+		t.Fatal("unknown counter not zero")
+	}
+}

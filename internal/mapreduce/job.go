@@ -1,0 +1,237 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState uint8
+
+// Job lifecycle. A dynamic job stays in the map phase until its Input
+// Provider declares end-of-input AND all scheduled maps finish; only
+// then does the reduce phase begin (§III-A).
+const (
+	// StateMapPhase: maps pending/running, or awaiting end-of-input.
+	StateMapPhase JobState = iota
+	// StateReducePhase: all maps done and input closed; reduces running.
+	StateReducePhase
+	// StateSucceeded: all reduces finished.
+	StateSucceeded
+	// StateFailed: a task exhausted its attempts.
+	StateFailed
+)
+
+// String returns the state name.
+func (s JobState) String() string {
+	switch s {
+	case StateMapPhase:
+		return "MAP"
+	case StateReducePhase:
+		return "REDUCE"
+	case StateSucceeded:
+		return "SUCCEEDED"
+	case StateFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("JobState(%d)", uint8(s))
+	}
+}
+
+// Counters aggregates the statistics Hadoop reports for a job; the
+// paper's Input Provider consumes MapInputRecords and MapOutputRecords
+// to estimate selectivity.
+type Counters struct {
+	MapInputRecords   int64
+	MapOutputRecords  int64
+	MapOutputBytes    int64
+	CompletedMaps     int64
+	FailedMapAttempts int64
+	LocalMaps         int64
+	NonLocalMaps      int64
+	BytesRead         int64
+	ShuffleBytes      int64
+	ReduceInputRecs   int64
+	ReduceOutputRecs  int64
+	// SpeculativeLaunches counts backup attempts started; KilledAttempts
+	// counts attempts cancelled mid-flight (race losers).
+	SpeculativeLaunches int64
+	KilledAttempts      int64
+	// User holds user-defined counters incremented by map/reduce
+	// functions via Collector.Inc.
+	User map[string]int64
+}
+
+// UserCounter returns a user-defined counter's value (0 if never
+// incremented).
+func (c *Counters) UserCounter(name string) int64 { return c.User[name] }
+
+// mergeUser folds a task's user counters into the job's.
+func (c *Counters) mergeUser(m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	if c.User == nil {
+		c.User = make(map[string]int64, len(m))
+	}
+	for k, v := range m {
+		c.User[k] += v
+	}
+}
+
+// MapTask is one unit of map input: a split awaiting or undergoing
+// processing, possibly by several racing attempts.
+type MapTask struct {
+	Job   *Job
+	Index int // ordinal among the job's scheduled splits
+	Split Split
+	// Attempts counts launches so far (failures requeue the task;
+	// speculation races a second attempt).
+	Attempts int
+	// Local records whether the latest attempt reads a node-local
+	// replica.
+	Local bool
+	// Node is the node of the latest attempt, -1 when idle.
+	Node int
+
+	completed bool
+	running   []*mapAttempt
+}
+
+// Completed reports whether some attempt of the task succeeded.
+func (t *MapTask) Completed() bool { return t.completed }
+
+// RunningAttempts returns the number of in-flight attempts.
+func (t *MapTask) RunningAttempts() int { return len(t.running) }
+
+// ReduceTask is one reduce partition's task.
+type ReduceTask struct {
+	Job      *Job
+	Index    int
+	Attempts int
+	Node     int
+}
+
+// mapChunk is one completed map task's output destined for a reduce
+// partition, tagged with the producing node for shuffle cost accounting.
+type mapChunk struct {
+	node  int
+	pairs []KeyValue
+	bytes int64
+}
+
+// Job is a submitted MapReduce job.
+type Job struct {
+	ID   int
+	Spec JobSpec
+	Conf *JobConf
+	Name string
+	User string
+
+	// Dynamic jobs receive splits incrementally and must be closed via
+	// EndOfInput before the reduce phase can start.
+	Dynamic    bool
+	endOfInput bool
+
+	state      JobState
+	numReduces int
+
+	pendingMaps []*MapTask
+	runningMaps map[*MapTask]struct{}
+	scheduled   int // total splits handed to the job so far
+
+	// mapOutput[r] collects chunks for reduce partition r.
+	mapOutput      [][]mapChunk
+	reduceTasks    []*ReduceTask
+	pendingReduces []*ReduceTask
+	runningReduces map[*ReduceTask]struct{}
+	reducesDone    int
+
+	output []KeyValue
+
+	// mapDurations records completed map attempt durations, feeding the
+	// speculative-execution median.
+	mapDurations []float64
+
+	Counters Counters
+
+	SubmitTime  float64
+	MapDoneTime float64
+	FinishTime  float64
+
+	failure string
+}
+
+// State returns the job's lifecycle state.
+func (j *Job) State() JobState { return j.state }
+
+// Failure returns the failure description for StateFailed jobs.
+func (j *Job) Failure() string { return j.failure }
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool { return j.state == StateSucceeded || j.state == StateFailed }
+
+// EndOfInputDeclared reports whether input has been closed.
+func (j *Job) EndOfInputDeclared() bool { return j.endOfInput }
+
+// ScheduledMaps returns the number of splits handed to the job so far.
+func (j *Job) ScheduledMaps() int { return j.scheduled }
+
+// PendingMaps returns the count of splits awaiting a slot.
+func (j *Job) PendingMaps() int { return len(j.pendingMaps) }
+
+// RunningMaps returns the count of currently executing map tasks.
+func (j *Job) RunningMaps() int { return len(j.runningMaps) }
+
+// CompletedMaps returns the count of finished map tasks.
+func (j *Job) CompletedMaps() int { return int(j.Counters.CompletedMaps) }
+
+// NumReduces returns the reduce-task count.
+func (j *Job) NumReduces() int { return j.numReduces }
+
+// Output returns the job's reduce output (valid once Done).
+func (j *Job) Output() []KeyValue { return j.output }
+
+// ResponseTime returns FinishTime - SubmitTime (valid once Done).
+func (j *Job) ResponseTime() float64 { return j.FinishTime - j.SubmitTime }
+
+// localPendingTask returns a pending map task whose split has a replica
+// on the node, or nil.
+func (j *Job) localPendingTask(node int) *MapTask {
+	for _, t := range j.pendingMaps {
+		if _, ok := t.Split.Block.LocalTo(node); ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// takePending removes and returns the given pending task.
+func (j *Job) takePending(t *MapTask) {
+	for i, x := range j.pendingMaps {
+		if x == t {
+			j.pendingMaps = append(j.pendingMaps[:i], j.pendingMaps[i+1:]...)
+			return
+		}
+	}
+	panic("mapreduce: task not pending")
+}
+
+// medianMapDuration returns the median completed-map duration once at
+// least minDone maps finished.
+func (j *Job) medianMapDuration(minDone int) (float64, bool) {
+	n := len(j.mapDurations)
+	if n < minDone || n == 0 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), j.mapDurations...)
+	sort.Float64s(sorted)
+	return sorted[n/2], true
+}
+
+// mapPhaseComplete reports whether the reduce phase may begin: every
+// scheduled map finished and (for dynamic jobs) end-of-input declared.
+func (j *Job) mapPhaseComplete() bool {
+	return j.endOfInput && len(j.pendingMaps) == 0 && len(j.runningMaps) == 0 &&
+		j.state == StateMapPhase
+}

@@ -1,0 +1,495 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/sim"
+)
+
+// Costs models the software-side execution costs of task attempts.
+// Hardware rates (disk/network bandwidth, core counts) live in
+// cluster.Config; these constants cover what runs on top.
+type Costs struct {
+	// TaskStartupS is the per-attempt launch latency (JVM spin-up in
+	// Hadoop 0.20; ~1 s).
+	TaskStartupS float64
+	// MapCPUPerRecordS is CPU seconds per input record (parse +
+	// user map function).
+	MapCPUPerRecordS float64
+	// MapCPUPerByteS is additional CPU seconds per input byte.
+	MapCPUPerByteS float64
+	// SortCPUPerRecordS covers the shuffle-side merge sort.
+	SortCPUPerRecordS float64
+	// ReduceCPUPerRecordS is CPU seconds per reduce input record.
+	ReduceCPUPerRecordS float64
+}
+
+// DefaultCosts returns constants calibrated so a 2012-era node spends
+// a few seconds per ~90 MB split, matching the paper's cluster scale.
+func DefaultCosts() Costs {
+	return Costs{
+		TaskStartupS:        1.0,
+		MapCPUPerRecordS:    2e-6,
+		MapCPUPerByteS:      0,
+		SortCPUPerRecordS:   3e-6,
+		ReduceCPUPerRecordS: 2e-6,
+	}
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// HeartbeatIntervalS is the TaskTracker heartbeat period.
+	HeartbeatIntervalS float64
+	// MapsPerHeartbeat bounds map assignments per heartbeat (Hadoop
+	// 0.20 assigned one; task completions trigger out-of-band
+	// scheduling opportunities as well).
+	MapsPerHeartbeat int
+	// ReducesPerHeartbeat bounds reduce assignments per heartbeat.
+	ReducesPerHeartbeat int
+	// MaxTaskAttempts fails the job after this many attempts of one
+	// task (Hadoop default 4).
+	MaxTaskAttempts int
+	// Costs are the task execution cost constants.
+	Costs Costs
+	// FailureInjector, when set, is consulted as each map attempt
+	// finishes; returning true fails the attempt. Tests use it to
+	// exercise re-execution.
+	FailureInjector func(j *Job, t *MapTask) bool
+	// SpeculativeExecution enables backup attempts for straggling map
+	// tasks (Hadoop's speculative execution): when a job has no pending
+	// maps and a lone attempt has run longer than SpeculativeSlowdown
+	// times the job's median map duration, a second attempt races it.
+	SpeculativeExecution bool
+	// SpeculativeSlowdown is the straggler threshold multiplier
+	// (default 2.0).
+	SpeculativeSlowdown float64
+	// SpeculativeMinCompleted is the minimum completed maps before the
+	// median is trusted (default 3).
+	SpeculativeMinCompleted int
+}
+
+// DefaultConfig returns the standard runtime configuration.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatIntervalS:      1.0,
+		MapsPerHeartbeat:        1,
+		ReducesPerHeartbeat:     1,
+		MaxTaskAttempts:         4,
+		Costs:                   DefaultCosts(),
+		SpeculativeSlowdown:     2.0,
+		SpeculativeMinCompleted: 3,
+	}
+}
+
+// TaskTracker is the per-node agent: it owns the node's map/reduce
+// slots and heartbeats to the JobTracker for work.
+type TaskTracker struct {
+	jt          *JobTracker
+	node        *cluster.Node
+	mapSlots    int
+	reduceSlots int
+	mapUsed     int
+	reduceUsed  int
+}
+
+// NodeID returns the tracker's node id.
+func (tt *TaskTracker) NodeID() int { return tt.node.ID }
+
+// FreeMapSlots returns currently unoccupied map slots.
+func (tt *TaskTracker) FreeMapSlots() int { return tt.mapSlots - tt.mapUsed }
+
+// FreeReduceSlots returns currently unoccupied reduce slots.
+func (tt *TaskTracker) FreeReduceSlots() int { return tt.reduceSlots - tt.reduceUsed }
+
+// JobTracker is the server-side daemon managing job lifecycles: it
+// accepts submissions, hands splits to trackers via the pluggable
+// TaskScheduler on each heartbeat, and tracks slot usage.
+type JobTracker struct {
+	eng      *sim.Engine
+	cluster  *cluster.Cluster
+	cfg      Config
+	sched    TaskScheduler
+	trackers []*TaskTracker
+
+	jobs      []*Job
+	nextJobID int
+
+	occupiedMapSlots    int
+	occupiedReduceSlots int
+	// mapSlotIntegral accumulates occupied-map-slot-seconds for the
+	// §V-F slot-occupancy metric.
+	mapSlotIntegral float64
+	lastSlotChange  float64
+
+	totalLocalMaps    int64
+	totalNonLocalMaps int64
+
+	listeners []func(TaskEvent)
+
+	started bool
+}
+
+// NewJobTracker builds the tracker and its per-node TaskTrackers.
+// Heartbeats begin on the first submission.
+func NewJobTracker(c *cluster.Cluster, cfg Config, sched TaskScheduler) *JobTracker {
+	if cfg.HeartbeatIntervalS <= 0 {
+		panic("mapreduce: HeartbeatIntervalS must be positive")
+	}
+	if cfg.MaxTaskAttempts <= 0 {
+		panic("mapreduce: MaxTaskAttempts must be positive")
+	}
+	if sched == nil {
+		sched = NewFIFOScheduler()
+	}
+	jt := &JobTracker{eng: c.Eng, cluster: c, cfg: cfg, sched: sched}
+	for _, n := range c.Nodes {
+		jt.trackers = append(jt.trackers, &TaskTracker{
+			jt:          jt,
+			node:        n,
+			mapSlots:    c.Cfg.MapSlotsPerNode,
+			reduceSlots: c.Cfg.ReduceSlotsPerNode,
+		})
+	}
+	return jt
+}
+
+// Engine returns the virtual clock driving the tracker.
+func (jt *JobTracker) Engine() *sim.Engine { return jt.eng }
+
+// Cluster returns the hardware.
+func (jt *JobTracker) Cluster() *cluster.Cluster { return jt.cluster }
+
+// Scheduler returns the active task scheduler.
+func (jt *JobTracker) Scheduler() TaskScheduler { return jt.sched }
+
+// Jobs returns all submitted jobs in submission order.
+func (jt *JobTracker) Jobs() []*Job { return jt.jobs }
+
+// start launches staggered periodic heartbeats.
+func (jt *JobTracker) start() {
+	if jt.started {
+		return
+	}
+	jt.started = true
+	n := len(jt.trackers)
+	for i, tt := range jt.trackers {
+		tt := tt
+		offset := jt.cfg.HeartbeatIntervalS * float64(i+1) / float64(n)
+		jt.eng.After(offset, func() { jt.heartbeat(tt) })
+	}
+}
+
+func (jt *JobTracker) heartbeat(tt *TaskTracker) {
+	jt.assign(tt)
+	jt.eng.After(jt.cfg.HeartbeatIntervalS, func() { jt.heartbeat(tt) })
+}
+
+// assign is one scheduling opportunity for a tracker: consult the
+// scheduler for up to MapsPerHeartbeat maps and ReducesPerHeartbeat
+// reduces, then consider a speculative backup attempt for a straggler.
+func (jt *JobTracker) assign(tt *TaskTracker) {
+	if n := min(tt.FreeMapSlots(), jt.cfg.MapsPerHeartbeat); n > 0 {
+		for _, t := range jt.sched.AssignMaps(jt, tt, n) {
+			jt.launchMap(tt, t)
+		}
+	}
+	if n := min(tt.FreeReduceSlots(), jt.cfg.ReducesPerHeartbeat); n > 0 {
+		for _, t := range jt.sched.AssignReduces(jt, tt, n) {
+			jt.launchReduce(tt, t)
+		}
+	}
+	if jt.cfg.SpeculativeExecution && tt.FreeMapSlots() > 0 {
+		if t := jt.speculativeCandidate(tt); t != nil {
+			jt.launchSpeculative(tt, t)
+		}
+	}
+}
+
+// speculativeCandidate finds a straggling map task worth backing up on
+// this tracker: its job has nothing pending, the task has exactly one
+// attempt on a *different* node, and that attempt has outlived the
+// straggler threshold.
+func (jt *JobTracker) speculativeCandidate(tt *TaskTracker) *MapTask {
+	now := jt.eng.Now()
+	slowdown := jt.cfg.SpeculativeSlowdown
+	if slowdown <= 0 {
+		slowdown = 2.0
+	}
+	minDone := jt.cfg.SpeculativeMinCompleted
+	if minDone <= 0 {
+		minDone = 3
+	}
+	for _, j := range jt.jobs {
+		if j.Done() || j.state != StateMapPhase || len(j.pendingMaps) > 0 {
+			continue
+		}
+		med, ok := j.medianMapDuration(minDone)
+		if !ok {
+			continue
+		}
+		for t := range j.runningMaps {
+			if t.completed || len(t.running) != 1 {
+				continue
+			}
+			att := t.running[0]
+			if att.tt == tt {
+				continue // back up on a different node
+			}
+			if now-att.startTime > slowdown*med {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Submit registers a job with its initial splits. Non-dynamic jobs are
+// closed immediately (all input known up front — Hadoop's model);
+// dynamic jobs stay open until EndOfInput.
+func (jt *JobTracker) Submit(spec JobSpec, splits []Split) *Job {
+	conf := spec.Conf
+	if conf == nil {
+		conf = NewJobConf()
+	}
+	if spec.NewMapper == nil {
+		panic("mapreduce: JobSpec.NewMapper is required")
+	}
+	j := &Job{
+		ID:             jt.nextJobID,
+		Spec:           spec,
+		Conf:           conf,
+		Name:           conf.Get(ConfJobName, fmt.Sprintf("job-%d", jt.nextJobID)),
+		User:           conf.Get(ConfUser, "default"),
+		Dynamic:        conf.GetBool(ConfDynamicJob, false),
+		numReduces:     int(conf.GetInt(ConfNumReduces, 1)),
+		runningMaps:    make(map[*MapTask]struct{}),
+		runningReduces: make(map[*ReduceTask]struct{}),
+		SubmitTime:     jt.eng.Now(),
+	}
+	jt.nextJobID++
+	if j.numReduces < 1 {
+		j.numReduces = 1
+	}
+	j.mapOutput = make([][]mapChunk, j.numReduces)
+	for r := 0; r < j.numReduces; r++ {
+		j.reduceTasks = append(j.reduceTasks, &ReduceTask{Job: j, Index: r, Node: -1})
+	}
+	jt.jobs = append(jt.jobs, j)
+	jt.addSplits(j, splits)
+	if !j.Dynamic {
+		j.endOfInput = true
+	}
+	jt.start()
+	jt.emit(TaskEvent{Type: EventJobSubmitted, JobID: j.ID, TaskIndex: -1, Node: -1})
+	// A job with no input and no future input can complete immediately.
+	jt.maybeStartReducePhase(j)
+	return j
+}
+
+// AddSplits hands additional input to a dynamic job ("input available"
+// response, §III-A).
+func (jt *JobTracker) AddSplits(j *Job, splits []Split) error {
+	if j.Done() {
+		return fmt.Errorf("mapreduce: job %d already finished", j.ID)
+	}
+	if j.endOfInput {
+		return fmt.Errorf("mapreduce: job %d input already closed", j.ID)
+	}
+	jt.addSplits(j, splits)
+	return nil
+}
+
+func (jt *JobTracker) addSplits(j *Job, splits []Split) {
+	for _, s := range splits {
+		t := &MapTask{Job: j, Index: j.scheduled, Split: s, Node: -1}
+		j.scheduled++
+		j.pendingMaps = append(j.pendingMaps, t)
+	}
+}
+
+// EndOfInput closes a dynamic job's input ("end of input" response):
+// in-flight maps finish, then the reduce phase begins.
+func (jt *JobTracker) EndOfInput(j *Job) error {
+	if j.Done() {
+		return fmt.Errorf("mapreduce: job %d already finished", j.ID)
+	}
+	if j.endOfInput {
+		return nil // idempotent
+	}
+	j.endOfInput = true
+	jt.maybeStartReducePhase(j)
+	return nil
+}
+
+// Retire removes a finished job from the tracker's bookkeeping and
+// releases its retained output and shuffle buffers. Long-running
+// workloads retire jobs after harvesting their results so that
+// scheduler scans and memory stay proportional to *active* jobs.
+func (jt *JobTracker) Retire(j *Job) error {
+	if !j.Done() {
+		return fmt.Errorf("mapreduce: cannot retire running job %d", j.ID)
+	}
+	for i, x := range jt.jobs {
+		if x == j {
+			jt.jobs = append(jt.jobs[:i], jt.jobs[i+1:]...)
+			break
+		}
+	}
+	if r, ok := jt.sched.(jobRetirer); ok {
+		r.retireJob(j)
+	}
+	j.output = nil
+	j.mapOutput = nil
+	j.reduceTasks = nil
+	j.pendingReduces = nil
+	return nil
+}
+
+// jobRetirer lets schedulers drop per-job state at retirement.
+type jobRetirer interface{ retireJob(*Job) }
+
+// Status snapshots the job for the JobClient/Input Provider.
+func (jt *JobTracker) Status(j *Job) JobStatus {
+	var user map[string]int64
+	if len(j.Counters.User) > 0 {
+		user = make(map[string]int64, len(j.Counters.User))
+		for k, v := range j.Counters.User {
+			user[k] = v
+		}
+	}
+	return JobStatus{
+		UserCounters:     user,
+		JobID:            j.ID,
+		State:            j.state,
+		ScheduledMaps:    j.scheduled,
+		CompletedMaps:    j.CompletedMaps(),
+		RunningMaps:      len(j.runningMaps),
+		PendingMaps:      len(j.pendingMaps),
+		MapInputRecords:  j.Counters.MapInputRecords,
+		MapOutputRecords: j.Counters.MapOutputRecords,
+		SubmitTime:       j.SubmitTime,
+		Now:              jt.eng.Now(),
+	}
+}
+
+// ClusterStatus snapshots cluster capacity and load.
+func (jt *JobTracker) ClusterStatus() ClusterStatus {
+	queued := 0
+	running := 0
+	for _, j := range jt.jobs {
+		if !j.Done() {
+			running++
+			queued += len(j.pendingMaps)
+		}
+	}
+	return ClusterStatus{
+		TotalMapSlots:    jt.cluster.Cfg.TotalMapSlots(),
+		OccupiedMapSlots: jt.occupiedMapSlots,
+		TotalReduceSlots: jt.cluster.Cfg.Nodes * jt.cluster.Cfg.ReduceSlotsPerNode,
+		OccupiedReduces:  jt.occupiedReduceSlots,
+		RunningJobs:      running,
+		QueuedMapTasks:   queued,
+	}
+}
+
+// MapSlotOccupancyIntegral returns accumulated occupied-map-slot-seconds
+// up to now; (Δintegral / (totalSlots·Δt)) is the §V-F "slot occupancy".
+func (jt *JobTracker) MapSlotOccupancyIntegral() float64 {
+	jt.accrueSlots()
+	return jt.mapSlotIntegral
+}
+
+// LocalityStats returns cluster-lifetime local and non-local completed
+// map counts (§V-F's "locality" metric).
+func (jt *JobTracker) LocalityStats() (local, nonLocal int64) {
+	return jt.totalLocalMaps, jt.totalNonLocalMaps
+}
+
+func (jt *JobTracker) accrueSlots() {
+	now := jt.eng.Now()
+	jt.mapSlotIntegral += float64(jt.occupiedMapSlots) * (now - jt.lastSlotChange)
+	jt.lastSlotChange = now
+}
+
+func (jt *JobTracker) changeMapSlots(delta int) {
+	jt.accrueSlots()
+	jt.occupiedMapSlots += delta
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// partition assigns a key to a reduce partition (Hadoop's hash
+// partitioner).
+func partition(key string, numReduces int) int {
+	if numReduces == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReduces))
+}
+
+// failJob transitions to StateFailed and discards pending work.
+func (jt *JobTracker) failJob(j *Job, why string) {
+	if j.Done() {
+		return
+	}
+	j.state = StateFailed
+	j.failure = why
+	j.pendingMaps = nil
+	j.pendingReduces = nil
+	j.FinishTime = jt.eng.Now()
+	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
+	if j.Spec.OnComplete != nil {
+		j.Spec.OnComplete(j)
+	}
+}
+
+// maybeStartReducePhase moves the job to its reduce phase when the map
+// phase is complete (§III-A: the framework does not begin the reduce
+// phase until end-of-input).
+func (jt *JobTracker) maybeStartReducePhase(j *Job) {
+	if !j.mapPhaseComplete() {
+		return
+	}
+	j.state = StateReducePhase
+	j.MapDoneTime = jt.eng.Now()
+	j.pendingReduces = append([]*ReduceTask(nil), j.reduceTasks...)
+}
+
+// completeJob finalises a successful job.
+func (jt *JobTracker) completeJob(j *Job) {
+	j.state = StateSucceeded
+	j.FinishTime = jt.eng.Now()
+	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
+	// Deterministic output order: by reduce partition, then emit order
+	// (already appended per-reduce in completion order).
+	if j.Spec.OnComplete != nil {
+		j.Spec.OnComplete(j)
+	}
+}
+
+// sortChunks orders one partition's chunks by producing task order so
+// reduce input is deterministic.
+func sortPairs(chunks []mapChunk) []KeyValue {
+	var total int
+	for _, c := range chunks {
+		total += len(c.pairs)
+	}
+	pairs := make([]KeyValue, 0, total)
+	for _, c := range chunks {
+		pairs = append(pairs, c.pairs...)
+	}
+	// Stable sort by key: Hadoop's merge groups equal keys while
+	// preserving chunk order within a key.
+	sort.SliceStable(pairs, func(i, k int) bool { return pairs[i].Key < pairs[k].Key })
+	return pairs
+}

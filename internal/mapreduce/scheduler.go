@@ -1,0 +1,238 @@
+package mapreduce
+
+import "sort"
+
+// TaskScheduler assigns pending tasks to a tracker's free slots at each
+// scheduling opportunity (heartbeat or task completion). Implementations
+// must only return tasks that are currently pending.
+type TaskScheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// AssignMaps picks up to max map tasks to launch on tt.
+	AssignMaps(jt *JobTracker, tt *TaskTracker, max int) []*MapTask
+	// AssignReduces picks up to max reduce tasks to launch on tt.
+	AssignReduces(jt *JobTracker, tt *TaskTracker, max int) []*ReduceTask
+}
+
+// FIFOScheduler is Hadoop's default: jobs served strictly in submission
+// order; within a job, node-local splits are preferred but a non-local
+// split is launched immediately when no local one exists (no delay —
+// which is why the paper measures only 57% locality under the default
+// scheduler).
+type FIFOScheduler struct{}
+
+// NewFIFOScheduler returns the default scheduler.
+func NewFIFOScheduler() *FIFOScheduler { return &FIFOScheduler{} }
+
+// Name implements TaskScheduler.
+func (s *FIFOScheduler) Name() string { return "fifo" }
+
+// AssignMaps implements TaskScheduler.
+func (s *FIFOScheduler) AssignMaps(jt *JobTracker, tt *TaskTracker, max int) []*MapTask {
+	var out []*MapTask
+	for len(out) < max {
+		var picked *MapTask
+		for _, j := range jt.jobs {
+			if j.Done() || len(j.pendingMaps) == 0 {
+				continue
+			}
+			if t := j.localPendingTask(tt.node.ID); t != nil {
+				picked = t
+			} else {
+				picked = j.pendingMaps[0]
+			}
+			break
+		}
+		if picked == nil {
+			break
+		}
+		out = append(out, picked)
+		// Mark it non-pending for the remainder of this opportunity by
+		// letting launchMap consume it: callers launch in order, so we
+		// must not pick it twice. Temporarily remove here and re-add.
+		picked.Job.takePending(picked)
+		defer func(t *MapTask) { t.Job.pendingMaps = append([]*MapTask{t}, t.Job.pendingMaps...) }(picked)
+	}
+	return out
+}
+
+// AssignReduces implements TaskScheduler.
+func (s *FIFOScheduler) AssignReduces(jt *JobTracker, tt *TaskTracker, max int) []*ReduceTask {
+	var out []*ReduceTask
+	for _, j := range jt.jobs {
+		if j.Done() || j.state != StateReducePhase {
+			continue
+		}
+		for _, t := range j.pendingReduces {
+			if len(out) >= max {
+				return out
+			}
+			out = append(out, t)
+		}
+		if len(out) >= max {
+			return out
+		}
+	}
+	return out
+}
+
+// fairJobState tracks delay-scheduling state per job.
+type fairJobState struct {
+	waiting   bool
+	waitStart float64
+}
+
+// FairScheduler implements the Fair Scheduler of §V-F: per-user pools
+// receive equal shares of the map slots; the most-starved pool is served
+// first; and delay scheduling holds a job back for up to LocalityWaitS
+// when it has no node-local split for the offering tracker, trading
+// slot occupancy for locality (the paper measures 88% locality at 18%
+// occupancy versus FIFO's 57% at 44%).
+type FairScheduler struct {
+	// LocalityWaitS is the maximum time a job waits for a local slot
+	// before accepting a non-local assignment.
+	LocalityWaitS float64
+	state         map[*Job]*fairJobState
+}
+
+// NewFairScheduler returns a Fair Scheduler with the given locality
+// wait (<= 0 disables delay scheduling).
+func NewFairScheduler(localityWaitS float64) *FairScheduler {
+	return &FairScheduler{LocalityWaitS: localityWaitS, state: make(map[*Job]*fairJobState)}
+}
+
+// Name implements TaskScheduler.
+func (s *FairScheduler) Name() string { return "fair" }
+
+// retireJob implements the tracker's jobRetirer hook.
+func (s *FairScheduler) retireJob(j *Job) { delete(s.state, j) }
+
+func (s *FairScheduler) jobState(j *Job) *fairJobState {
+	st := s.state[j]
+	if st == nil {
+		st = &fairJobState{}
+		s.state[j] = st
+	}
+	return st
+}
+
+// poolOrder returns jobs grouped by pool, pools sorted most-starved
+// first (fewest running maps relative to fair share), jobs FIFO within
+// a pool.
+func (s *FairScheduler) poolOrder(jt *JobTracker) [][]*Job {
+	pools := make(map[string][]*Job)
+	var names []string
+	for _, j := range jt.jobs {
+		if j.Done() || len(j.pendingMaps) == 0 {
+			continue
+		}
+		if _, ok := pools[j.User]; !ok {
+			names = append(names, j.User)
+		}
+		pools[j.User] = append(pools[j.User], j)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	share := float64(jt.cluster.Cfg.TotalMapSlots()) / float64(len(names))
+	type ranked struct {
+		name    string
+		deficit float64
+		firstID int
+	}
+	rs := make([]ranked, 0, len(names))
+	for _, n := range names {
+		running := 0
+		for _, j := range pools[n] {
+			running += len(j.runningMaps)
+		}
+		rs = append(rs, ranked{
+			name:    n,
+			deficit: float64(running) / share,
+			firstID: pools[n][0].ID,
+		})
+	}
+	sort.Slice(rs, func(i, k int) bool {
+		if rs[i].deficit != rs[k].deficit {
+			return rs[i].deficit < rs[k].deficit
+		}
+		return rs[i].firstID < rs[k].firstID
+	})
+	out := make([][]*Job, len(rs))
+	for i, r := range rs {
+		out[i] = pools[r.name]
+	}
+	return out
+}
+
+// AssignMaps implements TaskScheduler with delay scheduling.
+func (s *FairScheduler) AssignMaps(jt *JobTracker, tt *TaskTracker, max int) []*MapTask {
+	now := jt.eng.Now()
+	var out []*MapTask
+	var undo []*MapTask
+	defer func() {
+		for _, t := range undo {
+			t.Job.pendingMaps = append([]*MapTask{t}, t.Job.pendingMaps...)
+		}
+	}()
+	for len(out) < max {
+		var picked *MapTask
+	search:
+		for _, pool := range s.poolOrder(jt) {
+			for _, j := range pool {
+				if len(j.pendingMaps) == 0 {
+					continue
+				}
+				st := s.jobState(j)
+				if t := j.localPendingTask(tt.node.ID); t != nil {
+					picked = t
+					st.waiting = false
+					break search
+				}
+				if s.LocalityWaitS <= 0 {
+					picked = j.pendingMaps[0]
+					break search
+				}
+				if !st.waiting {
+					st.waiting = true
+					st.waitStart = now
+					continue // hold out for locality; try next job
+				}
+				if now-st.waitStart >= s.LocalityWaitS {
+					picked = j.pendingMaps[0]
+					st.waiting = false
+					break search
+				}
+				// Still within the locality wait: skip this job.
+			}
+		}
+		if picked == nil {
+			break
+		}
+		out = append(out, picked)
+		picked.Job.takePending(picked)
+		undo = append(undo, picked)
+	}
+	return out
+}
+
+// AssignReduces implements TaskScheduler (reduces have no locality;
+// pools are served most-starved first).
+func (s *FairScheduler) AssignReduces(jt *JobTracker, tt *TaskTracker, max int) []*ReduceTask {
+	var out []*ReduceTask
+	for _, j := range jt.jobs {
+		if j.Done() || j.state != StateReducePhase {
+			continue
+		}
+		for _, t := range j.pendingReduces {
+			if len(out) >= max {
+				return out
+			}
+			out = append(out, t)
+		}
+		if len(out) >= max {
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/sim"
+)
+
+// stragglerRig builds a cluster where node 0 runs at 1/20th speed, and
+// a job whose splits land evenly across nodes, so the splits placed on
+// node 0 straggle badly.
+func stragglerRig(t *testing.T, speculative bool) (*sim.Engine, *JobTracker, *Job) {
+	t.Helper()
+	cfg := cluster.PaperConfig()
+	cfg.NodeSpeedFactors = make([]float64, cfg.Nodes)
+	for i := range cfg.NodeSpeedFactors {
+		cfg.NodeSpeedFactors[i] = 1
+	}
+	cfg.NodeSpeedFactors[0] = 0.05
+
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cfg)
+	fs := dfs.New(cl)
+	schema := data.NewSchema("V")
+	var srcs []data.Source
+	for b := 0; b < 40; b++ {
+		recs := make([]data.Record, 5000)
+		for i := range recs {
+			recs[i] = data.NewRecord(schema, []data.Value{data.Int(int64(i))})
+		}
+		srcs = append(srcs, data.NewSliceSource(schema, recs))
+	}
+	f, err := fs.Create("in", srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultConfig()
+	rc.SpeculativeExecution = speculative
+	// CPU-dominated tasks (10s on a healthy node, 200s on the
+	// straggler) so the slowdown threshold is actually crossed.
+	rc.Costs.MapCPUPerRecordS = 2e-3
+	jt := NewJobTracker(cl, rc, nil)
+	job := jt.Submit(JobSpec{
+		NewMapper: func(*JobConf) Mapper {
+			return MapperFunc(func(data.Record, *Collector) error { return nil })
+		},
+	}, SplitsForFile(f))
+	return eng, jt, job
+}
+
+func TestNodeSpeedFactorValidation(t *testing.T) {
+	cfg := cluster.PaperConfig()
+	cfg.NodeSpeedFactors = []float64{1, 1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("wrong-length speed factors accepted")
+	}
+	cfg.NodeSpeedFactors = make([]float64, 10)
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero speed factor accepted")
+	}
+}
+
+func TestSpeculationRescuesStragglers(t *testing.T) {
+	engOff, _, jobOff := stragglerRig(t, false)
+	if !RunUntilDone(engOff, jobOff, 1e7) {
+		t.Fatal("baseline job stuck")
+	}
+	engOn, _, jobOn := stragglerRig(t, true)
+	if !RunUntilDone(engOn, jobOn, 1e7) {
+		t.Fatal("speculative job stuck")
+	}
+	if jobOn.State() != StateSucceeded {
+		t.Fatalf("state = %v", jobOn.State())
+	}
+	if jobOn.Counters.SpeculativeLaunches == 0 {
+		t.Fatal("no speculative attempts launched despite a 20x straggler")
+	}
+	// Backup attempts must make the job materially faster.
+	if jobOn.ResponseTime() >= jobOff.ResponseTime()*0.8 {
+		t.Fatalf("speculation did not help: %v vs %v (without)",
+			jobOn.ResponseTime(), jobOff.ResponseTime())
+	}
+	// Output identical either way (each task counted exactly once).
+	if jobOn.Counters.CompletedMaps != 40 || jobOn.Counters.MapInputRecords != 200_000 {
+		t.Fatalf("counters double-counted: %+v", jobOn.Counters)
+	}
+	// Losing attempts were killed, and slots fully released at the end.
+	if jobOn.Counters.KilledAttempts == 0 {
+		t.Fatal("no attempt was ever killed")
+	}
+}
+
+func TestSpeculationDisabledByDefault(t *testing.T) {
+	eng, _, job := stragglerRig(t, false)
+	RunUntilDone(eng, job, 1e7)
+	if job.Counters.SpeculativeLaunches != 0 {
+		t.Fatal("speculation ran while disabled")
+	}
+}
+
+func TestSpeculationSlotAccounting(t *testing.T) {
+	eng, jt, job := stragglerRig(t, true)
+	for !job.Done() && eng.Step() {
+		cs := jt.ClusterStatus()
+		if cs.OccupiedMapSlots < 0 || cs.OccupiedMapSlots > cs.TotalMapSlots {
+			t.Fatalf("slot accounting corrupt: %+v", cs)
+		}
+	}
+	if cs := jt.ClusterStatus(); cs.OccupiedMapSlots != 0 {
+		t.Fatalf("slots leaked after completion: %+v", cs)
+	}
+}
+
+func TestSpeculationWithDynamicJob(t *testing.T) {
+	// Speculation applies to dynamic jobs between increments too: no
+	// pending maps while input is open is exactly the straggler window.
+	cfg := cluster.PaperConfig()
+	cfg.NodeSpeedFactors = make([]float64, cfg.Nodes)
+	for i := range cfg.NodeSpeedFactors {
+		cfg.NodeSpeedFactors[i] = 1
+	}
+	cfg.NodeSpeedFactors[1] = 0.05
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cfg)
+	fs := dfs.New(cl)
+	schema := data.NewSchema("V")
+	var srcs []data.Source
+	for b := 0; b < 20; b++ {
+		recs := make([]data.Record, 5000)
+		for i := range recs {
+			recs[i] = data.NewRecord(schema, []data.Value{data.Int(int64(i))})
+		}
+		srcs = append(srcs, data.NewSliceSource(schema, recs))
+	}
+	f, _ := fs.Create("in", srcs, 1)
+	rc := DefaultConfig()
+	rc.SpeculativeExecution = true
+	jt := NewJobTracker(cl, rc, nil)
+	conf := NewJobConf()
+	conf.SetBool(ConfDynamicJob, true)
+	job := jt.Submit(JobSpec{
+		Conf: conf,
+		NewMapper: func(*JobConf) Mapper {
+			return MapperFunc(func(data.Record, *Collector) error { return nil })
+		},
+	}, SplitsForFile(f))
+	// Let the initial splits run long enough for speculation to kick
+	// in, then close the input.
+	eng.RunUntil(120)
+	if err := jt.EndOfInput(job); err != nil {
+		t.Fatal(err)
+	}
+	if !RunUntilDone(eng, job, 1e7) {
+		t.Fatal("dynamic job stuck")
+	}
+	if job.Counters.CompletedMaps != 20 {
+		t.Fatalf("completed = %d", job.Counters.CompletedMaps)
+	}
+}

@@ -1,0 +1,44 @@
+package mapreduce
+
+// JobStatus is the snapshot the JobClient retrieves at each evaluation
+// interval and forwards to the Input Provider (§III-A: "statistics
+// about the output produced by finished mappers [and] the status of the
+// job").
+type JobStatus struct {
+	JobID int
+	State JobState
+	// ScheduledMaps is the number of splits handed to the job so far.
+	ScheduledMaps int
+	CompletedMaps int
+	RunningMaps   int
+	PendingMaps   int
+	// MapInputRecords is the number of input records processed by
+	// finished map tasks.
+	MapInputRecords int64
+	// MapOutputRecords is the number of pairs emitted by finished map
+	// tasks — for a sampling job, the matches found so far.
+	MapOutputRecords int64
+	// UserCounters snapshots the job's user-defined counters (§IV: the
+	// job status "includes additional statistics"); nil when none.
+	UserCounters map[string]int64
+	SubmitTime   float64
+	// Now is the virtual time of the snapshot.
+	Now float64
+}
+
+// ClusterStatus summarises cluster capacity and load (§III-A: "the
+// current load and the availability of map slots"). TS and AS in the
+// paper's grab-limit formulas are TotalMapSlots and AvailableMapSlots.
+type ClusterStatus struct {
+	TotalMapSlots    int
+	OccupiedMapSlots int
+	TotalReduceSlots int
+	OccupiedReduces  int
+	RunningJobs      int
+	QueuedMapTasks   int
+}
+
+// AvailableMapSlots returns total minus occupied ("AS").
+func (c ClusterStatus) AvailableMapSlots() int {
+	return c.TotalMapSlots - c.OccupiedMapSlots
+}

@@ -1,0 +1,429 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/sim"
+)
+
+// mapAttempt is one execution of a MapTask on a tracker. A task may
+// have a second, speculative attempt racing the first; the loser is
+// killed mid-flight.
+type mapAttempt struct {
+	task        *MapTask
+	tt          *TaskTracker
+	local       bool
+	loc         dfsLocation
+	speculative bool
+	startTime   float64
+
+	// in-flight stage handles for cancellation
+	timer  *sim.Event
+	res    *sim.SharedResource
+	demand *sim.Demand
+	killed bool
+}
+
+// dfsLocation mirrors dfs.Location without importing the package here.
+type dfsLocation struct{ Node, Disk int }
+
+// launchMap runs a map attempt on the tracker's node. The attempt's
+// timeline: slot occupied → startup latency → split read (local disk,
+// or remote disk + network) → CPU → user mapper executes → completion
+// report (or injected failure → requeue). speculative attempts race an
+// existing one.
+func (jt *JobTracker) launchMap(tt *TaskTracker, t *MapTask) {
+	t.Job.takePending(t)
+	jt.startAttempt(tt, t, false)
+}
+
+// launchSpeculative starts a backup attempt for a running task.
+func (jt *JobTracker) launchSpeculative(tt *TaskTracker, t *MapTask) {
+	t.Job.Counters.SpeculativeLaunches++
+	jt.startAttempt(tt, t, true)
+}
+
+func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool) {
+	j := t.Job
+	j.runningMaps[t] = struct{}{}
+	t.Attempts++
+	t.Node = tt.node.ID
+
+	loc, local := t.Split.Block.LocalTo(tt.node.ID)
+	if !local {
+		loc = t.Split.Block.Primary()
+	}
+	t.Local = local
+
+	att := &mapAttempt{
+		task:        t,
+		tt:          tt,
+		local:       local,
+		loc:         dfsLocation{Node: loc.Node, Disk: loc.Disk},
+		speculative: speculative,
+		startTime:   jt.eng.Now(),
+	}
+	t.running = append(t.running, att)
+
+	tt.mapUsed++
+	jt.changeMapSlots(+1)
+	jt.emit(TaskEvent{Type: EventMapStarted, JobID: j.ID, TaskIndex: t.Index,
+		Node: tt.node.ID, Attempt: t.Attempts, Speculative: speculative})
+
+	bytes := float64(t.Split.SizeBytes())
+	records := t.Split.NumRecords()
+	costs := jt.cfg.Costs
+
+	finish := func() {
+		att.res, att.demand = nil, nil
+		jt.finishMapAttempt(att)
+	}
+	cpuPhase := func() {
+		if att.killed {
+			return
+		}
+		work := float64(records)*costs.MapCPUPerRecordS + bytes*costs.MapCPUPerByteS
+		att.res = tt.node.CPU
+		att.demand = tt.node.CPU.Submit(work, finish)
+	}
+	readPhase := func() {
+		att.timer = nil
+		if att.killed {
+			return
+		}
+		disk := jt.cluster.Node(att.loc.Node).Disks[att.loc.Disk]
+		if local {
+			att.res = disk
+			att.demand = disk.Submit(bytes, cpuPhase)
+		} else {
+			// Remote read: source disk, then the fabric.
+			att.res = disk
+			att.demand = disk.Submit(bytes, func() {
+				if att.killed {
+					return
+				}
+				att.res = jt.cluster.Network
+				att.demand = jt.cluster.Network.Submit(bytes, cpuPhase)
+			})
+		}
+	}
+	att.timer = jt.eng.After(costs.TaskStartupS, readPhase)
+}
+
+// killAttempt cancels an in-flight attempt and frees its slot.
+func (jt *JobTracker) killAttempt(att *mapAttempt) {
+	if att.killed {
+		return
+	}
+	att.killed = true
+	if att.timer != nil {
+		jt.eng.Cancel(att.timer)
+		att.timer = nil
+	}
+	if att.res != nil && att.demand != nil {
+		att.res.Cancel(att.demand)
+		att.res, att.demand = nil, nil
+	}
+	att.task.Job.Counters.KilledAttempts++
+	jt.emit(TaskEvent{Type: EventMapKilled, JobID: att.task.Job.ID, TaskIndex: att.task.Index,
+		Node: att.tt.node.ID, Speculative: att.speculative})
+	jt.releaseAttempt(att)
+}
+
+// releaseAttempt frees the attempt's slot and detaches it from its
+// task, updating the job's running-task set.
+func (jt *JobTracker) releaseAttempt(att *mapAttempt) {
+	t := att.task
+	for i, x := range t.running {
+		if x == att {
+			t.running = append(t.running[:i], t.running[i+1:]...)
+			break
+		}
+	}
+	if len(t.running) == 0 {
+		delete(t.Job.runningMaps, t)
+		t.Node = -1
+	}
+	att.tt.mapUsed--
+	jt.changeMapSlots(-1)
+}
+
+// finishMapAttempt runs the real user mapper, applies failure
+// injection, and reports completion to the job.
+func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
+	if att.killed {
+		return
+	}
+	t := att.task
+	j := t.Job
+	tt := att.tt
+	jt.releaseAttempt(att)
+	att.killed = true // no further stages may run
+
+	if j.Done() || t.completed {
+		// Job failed mid-flight, or a sibling attempt won the race in
+		// the same instant; the slot is already free.
+		jt.assign(tt)
+		return
+	}
+
+	failed := false
+	var out *Collector
+	var err error
+	if jt.cfg.FailureInjector != nil && jt.cfg.FailureInjector(j, t) {
+		failed = true
+		err = fmt.Errorf("injected failure")
+	} else {
+		out, err = jt.execMapper(t)
+		failed = err != nil
+	}
+
+	if failed {
+		j.Counters.FailedMapAttempts++
+		jt.emit(TaskEvent{Type: EventMapFailed, JobID: j.ID, TaskIndex: t.Index,
+			Node: tt.node.ID, Attempt: t.Attempts, Speculative: att.speculative})
+		switch {
+		case t.Attempts >= jt.cfg.MaxTaskAttempts:
+			jt.failJob(j, fmt.Sprintf("map task %d failed %d times: %v", t.Index, t.Attempts, err))
+		case len(t.running) > 0:
+			// A sibling (speculative) attempt is still going; let it
+			// finish the task instead of requeueing.
+		default:
+			// Requeue for re-execution elsewhere.
+			j.pendingMaps = append(j.pendingMaps, t)
+		}
+		jt.assign(tt)
+		return
+	}
+
+	t.completed = true
+	// Kill any racing sibling attempts; this one won.
+	for len(t.running) > 0 {
+		jt.killAttempt(t.running[0])
+	}
+
+	// Partition output by key and stash for the shuffle, tagged with
+	// the producing node.
+	byPart := make(map[int]*mapChunk)
+	for _, kv := range out.Pairs() {
+		p := partition(kv.Key, j.numReduces)
+		c := byPart[p]
+		if c == nil {
+			c = &mapChunk{node: tt.node.ID}
+			byPart[p] = c
+		}
+		c.pairs = append(c.pairs, kv)
+		c.bytes += int64(len(kv.Key) + kv.Value.EncodedSize())
+	}
+	for p, c := range byPart {
+		j.mapOutput[p] = append(j.mapOutput[p], *c)
+	}
+
+	j.Counters.MapInputRecords += t.Split.NumRecords()
+	j.Counters.MapOutputRecords += int64(out.Len())
+	j.Counters.MapOutputBytes += out.Bytes()
+	j.Counters.BytesRead += t.Split.SizeBytes()
+	j.Counters.CompletedMaps++
+	j.Counters.mergeUser(out.UserCounters())
+	j.mapDurations = append(j.mapDurations, jt.eng.Now()-att.startTime)
+	if att.local {
+		j.Counters.LocalMaps++
+		jt.totalLocalMaps++
+	} else {
+		j.Counters.NonLocalMaps++
+		jt.totalNonLocalMaps++
+	}
+
+	jt.emit(TaskEvent{Type: EventMapFinished, JobID: j.ID, TaskIndex: t.Index,
+		Node: tt.node.ID, Attempt: t.Attempts, Speculative: att.speculative})
+	jt.maybeStartReducePhase(j)
+	// Out-of-band scheduling opportunity: the freed slot can be reused
+	// without waiting for the next periodic heartbeat.
+	jt.assign(tt)
+}
+
+// execMapper executes the user's map logic over the split for real.
+func (jt *JobTracker) execMapper(t *MapTask) (*Collector, error) {
+	j := t.Job
+	mapper := j.Spec.NewMapper(j.Conf)
+	if mapper == nil {
+		return nil, fmt.Errorf("mapreduce: NewMapper returned nil")
+	}
+	ctx := &TaskContext{Conf: j.Conf, SplitIndex: t.Index, Source: t.Split.Block.Source}
+	out := &Collector{}
+
+	if sm, ok := mapper.(SplitMapper); ok {
+		if err := sm.MapSplit(ctx, out); err != nil {
+			return nil, err
+		}
+		return jt.combine(j, out)
+	}
+
+	if su, ok := mapper.(SetupMapper); ok {
+		if err := su.Setup(ctx); err != nil {
+			return nil, err
+		}
+	}
+	var scanErr error
+	t.Split.Block.Source.Scan(func(rec data.Record) bool {
+		if err := mapper.Map(rec, out); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if su, ok := mapper.(SetupMapper); ok {
+		if err := su.Cleanup(out); err != nil {
+			return nil, err
+		}
+	}
+	return jt.combine(j, out)
+}
+
+// combine runs the job's combiner (when configured) over one map
+// task's output, grouping by key, and returns the combined collector.
+// User counters survive the combine.
+func (jt *JobTracker) combine(j *Job, out *Collector) (*Collector, error) {
+	if j.Spec.NewCombiner == nil || out.Len() == 0 {
+		return out, nil
+	}
+	combiner := j.Spec.NewCombiner(j.Conf)
+	if combiner == nil {
+		return out, nil
+	}
+	pairs := append([]KeyValue(nil), out.Pairs()...)
+	sort.SliceStable(pairs, func(i, k int) bool { return pairs[i].Key < pairs[k].Key })
+	combined := &Collector{counters: out.counters}
+	for i := 0; i < len(pairs); {
+		k := pairs[i].Key
+		var vals []data.Record
+		for i < len(pairs) && pairs[i].Key == k {
+			vals = append(vals, pairs[i].Value)
+			i++
+		}
+		if err := combiner.Reduce(k, vals, combined); err != nil {
+			return nil, fmt.Errorf("combiner: %w", err)
+		}
+	}
+	return combined, nil
+}
+
+// launchReduce runs a reduce attempt: slot occupied → startup → shuffle
+// (remote chunks over the network) → sort CPU → user reducer → output
+// write to local disk → completion.
+func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
+	j := t.Job
+	for i, x := range j.pendingReduces {
+		if x == t {
+			j.pendingReduces = append(j.pendingReduces[:i], j.pendingReduces[i+1:]...)
+			break
+		}
+	}
+	j.runningReduces[t] = struct{}{}
+	t.Attempts++
+	t.Node = tt.node.ID
+	tt.reduceUsed++
+	jt.occupiedReduceSlots++
+	jt.emit(TaskEvent{Type: EventReduceStarted, JobID: j.ID, TaskIndex: t.Index,
+		Node: tt.node.ID, Attempt: t.Attempts})
+
+	chunks := j.mapOutput[t.Index]
+	var shuffleBytes, totalPairs int64
+	for _, c := range chunks {
+		totalPairs += int64(len(c.pairs))
+		if c.node != tt.node.ID {
+			shuffleBytes += c.bytes
+		}
+	}
+	costs := jt.cfg.Costs
+
+	finish := func() { jt.finishReduce(tt, t) }
+
+	writeOutput := func(outBytes int64) func() {
+		return func() {
+			// Output written to one of the node's disks (round-robin by
+			// task index).
+			disk := tt.node.Disks[t.Index%len(tt.node.Disks)]
+			disk.Submit(float64(outBytes), finish)
+		}
+	}
+	runReducer := func() {
+		out, err := jt.execReducer(t, chunks)
+		if err != nil {
+			jt.failJob(j, fmt.Sprintf("reduce task %d failed: %v", t.Index, err))
+			tt.reduceUsed--
+			jt.occupiedReduceSlots--
+			delete(j.runningReduces, t)
+			jt.assign(tt)
+			return
+		}
+		t.Job.Counters.ReduceInputRecs += totalPairs
+		t.Job.Counters.ReduceOutputRecs += int64(out.Len())
+		t.Job.Counters.mergeUser(out.UserCounters())
+		j.output = append(j.output, out.Pairs()...)
+		// Reduce CPU for the user function, then the output write.
+		work := float64(totalPairs) * costs.ReduceCPUPerRecordS
+		tt.node.CPU.Submit(work, writeOutput(out.Bytes()))
+	}
+	sortPhase := func() {
+		work := float64(totalPairs) * costs.SortCPUPerRecordS
+		tt.node.CPU.Submit(work, runReducer)
+	}
+	shufflePhase := func() {
+		j.Counters.ShuffleBytes += shuffleBytes
+		jt.cluster.Network.Submit(float64(shuffleBytes), sortPhase)
+	}
+	jt.eng.After(costs.TaskStartupS, shufflePhase)
+}
+
+// execReducer groups the partition's pairs by key and runs the user's
+// reduce logic for real.
+func (jt *JobTracker) execReducer(t *ReduceTask, chunks []mapChunk) (*Collector, error) {
+	j := t.Job
+	var reducer Reducer
+	if j.Spec.NewReducer != nil {
+		reducer = j.Spec.NewReducer(j.Conf)
+	}
+	if reducer == nil {
+		reducer = IdentityReducer
+	}
+	pairs := sortPairs(chunks)
+	out := &Collector{}
+	for i := 0; i < len(pairs); {
+		k := pairs[i].Key
+		var vals []data.Record
+		for i < len(pairs) && pairs[i].Key == k {
+			vals = append(vals, pairs[i].Value)
+			i++
+		}
+		if err := reducer.Reduce(k, vals, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// finishReduce reports a reduce completion and finalises the job when
+// all partitions are done.
+func (jt *JobTracker) finishReduce(tt *TaskTracker, t *ReduceTask) {
+	j := t.Job
+	delete(j.runningReduces, t)
+	tt.reduceUsed--
+	jt.occupiedReduceSlots--
+	if j.Done() {
+		jt.assign(tt)
+		return
+	}
+	j.reducesDone++
+	jt.emit(TaskEvent{Type: EventReduceFinished, JobID: j.ID, TaskIndex: t.Index,
+		Node: tt.node.ID, Attempt: t.Attempts})
+	if j.reducesDone == j.numReduces {
+		jt.completeJob(j)
+	}
+	jt.assign(tt)
+}

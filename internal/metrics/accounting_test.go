@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/mapreduce"
+)
+
+// TestDiskReadAccountingMatchesBytes checks the Figure 6 disk-read
+// series against ground truth: a job that reads exactly B bytes must
+// produce samples integrating to B.
+func TestDiskReadAccountingMatchesBytes(t *testing.T) {
+	eng, cl, fs, jt := rig(t)
+	f := mkFile(t, fs, "in", 20, 500)
+	wantBytes := float64(f.TotalBytes())
+
+	s := NewSampler(jt, 5)
+	s.Start()
+	job := jt.Submit(mapreduce.JobSpec{
+		NewMapper: func(*mapreduce.JobConf) mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(data.Record, *mapreduce.Collector) error { return nil })
+		},
+	}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	// Run past the last sample boundary so the final interval lands.
+	eng.RunUntil(eng.Now() + 10)
+
+	// Integrate the sampled per-disk KB/s back to bytes:
+	// sample.DiskReadKBs * 1024 * interval * totalDisks.
+	var readBytes float64
+	var lastT float64
+	for _, sm := range s.Samples() {
+		dt := sm.Time - lastT
+		lastT = sm.Time
+		readBytes += sm.DiskReadKBs * 1024 * dt * float64(cl.Cfg.TotalDisks())
+	}
+	// Reduce output writes add a little on top of the reads; the map
+	// reads must be within a few percent.
+	if readBytes < wantBytes*0.98 {
+		t.Fatalf("sampled disk volume %.0f < actual read volume %.0f", readBytes, wantBytes)
+	}
+	if readBytes > wantBytes*1.25 {
+		t.Fatalf("sampled disk volume %.0f far above read volume %.0f", readBytes, wantBytes)
+	}
+	_ = math.Abs
+}
+
+// TestCPUAccountingMatchesWork: a job whose map CPU work is known
+// integrates to the configured per-record cost.
+func TestCPUAccountingMatchesWork(t *testing.T) {
+	eng, cl, fs, jt := rig(t)
+	f := mkFile(t, fs, "in", 10, 1000)
+	job := jt.Submit(mapreduce.JobSpec{
+		NewMapper: func(*mapreduce.JobConf) mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(data.Record, *mapreduce.Collector) error { return nil })
+		},
+	}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	costs := mapreduce.DefaultCosts()
+	wantCPU := float64(10*1000) * costs.MapCPUPerRecordS // map work
+	got := cl.CPUUsedIntegral()
+	if got < wantCPU*0.99 { // float accumulation tolerance
+		t.Fatalf("CPU integral %v below map work %v", got, wantCPU)
+	}
+	// Sort/reduce overhead is small for empty map output.
+	if got > wantCPU*1.5+0.1 {
+		t.Fatalf("CPU integral %v far above map work %v", got, wantCPU)
+	}
+}

@@ -1,0 +1,125 @@
+// Package metrics samples cluster resource usage over virtual time,
+// reproducing §V-D's monitoring: "we monitored the CPU utilization (%)
+// and disk reads (Kbs/sec) at 30 second intervals on each node",
+// averaged over the cluster's cores and disks, plus §V-F's locality and
+// slot-occupancy measures.
+package metrics
+
+import (
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sim"
+)
+
+// Sample is one interval's averaged readings.
+type Sample struct {
+	// Time is the interval's end (virtual seconds).
+	Time float64
+	// CPUUtilPct is mean CPU utilisation over the interval, in percent
+	// of total core capacity.
+	CPUUtilPct float64
+	// DiskReadKBs is the mean per-disk transfer rate over the interval
+	// in KB/s (averaged over all disks, as the paper reports).
+	DiskReadKBs float64
+	// SlotOccupancyPct is the mean fraction of map slots occupied.
+	SlotOccupancyPct float64
+}
+
+// Sampler polls the cluster at a fixed virtual interval.
+type Sampler struct {
+	eng      *sim.Engine
+	cl       *cluster.Cluster
+	jt       *mapreduce.JobTracker
+	interval float64
+
+	samples []Sample
+
+	lastT    float64
+	lastCPU  float64
+	lastDisk float64
+	lastSlot float64
+
+	stopped bool
+}
+
+// NewSampler creates a sampler with the paper's 30 s interval when
+// intervalS <= 0.
+func NewSampler(jt *mapreduce.JobTracker, intervalS float64) *Sampler {
+	if intervalS <= 0 {
+		intervalS = 30
+	}
+	return &Sampler{
+		eng:      jt.Engine(),
+		cl:       jt.Cluster(),
+		jt:       jt,
+		interval: intervalS,
+	}
+}
+
+// Start begins sampling; the first sample lands one interval from now.
+func (s *Sampler) Start() {
+	s.stopped = false
+	s.lastT = s.eng.Now()
+	s.lastCPU = s.cl.CPUUsedIntegral()
+	s.lastDisk = s.cl.DiskUsedIntegral()
+	s.lastSlot = s.jt.MapSlotOccupancyIntegral()
+	s.eng.After(s.interval, s.tick)
+}
+
+// Stop halts sampling after the current interval.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Samples returns everything collected so far.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	now := s.eng.Now()
+	dt := now - s.lastT
+	cpu := s.cl.CPUUsedIntegral()
+	disk := s.cl.DiskUsedIntegral()
+	slot := s.jt.MapSlotOccupancyIntegral()
+	if dt > 0 {
+		totalSlots := float64(s.cl.Cfg.TotalMapSlots())
+		s.samples = append(s.samples, Sample{
+			Time:             now,
+			CPUUtilPct:       100 * (cpu - s.lastCPU) / (s.cl.CPUCapacity() * dt),
+			DiskReadKBs:      (disk - s.lastDisk) / dt / float64(s.cl.Cfg.TotalDisks()) / 1024,
+			SlotOccupancyPct: 100 * (slot - s.lastSlot) / (totalSlots * dt),
+		})
+	}
+	s.lastT, s.lastCPU, s.lastDisk, s.lastSlot = now, cpu, disk, slot
+	s.eng.After(s.interval, s.tick)
+}
+
+// Averages aggregates samples taken at or after fromT (to exclude
+// warm-up), returning mean CPU %, disk KB/s and slot occupancy %.
+func (s *Sampler) Averages(fromT float64) (cpuPct, diskKBs, occupancyPct float64) {
+	n := 0
+	for _, sm := range s.samples {
+		if sm.Time < fromT {
+			continue
+		}
+		cpuPct += sm.CPUUtilPct
+		diskKBs += sm.DiskReadKBs
+		occupancyPct += sm.SlotOccupancyPct
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return cpuPct / float64(n), diskKBs / float64(n), occupancyPct / float64(n)
+}
+
+// LocalityPct returns the cluster-lifetime fraction of completed map
+// tasks that read a node-local replica, in percent (§V-F).
+func LocalityPct(jt *mapreduce.JobTracker) float64 {
+	local, nonLocal := jt.LocalityStats()
+	total := local + nonLocal
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(local) / float64(total)
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sim"
+)
+
+func rig(t *testing.T) (*sim.Engine, *cluster.Cluster, *dfs.DFS, *mapreduce.JobTracker) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	return eng, cl, dfs.New(cl), mapreduce.NewJobTracker(cl, mapreduce.DefaultConfig(), nil)
+}
+
+var schema = data.NewSchema("V")
+
+func mkFile(t *testing.T, fs *dfs.DFS, name string, blocks, recs int) *dfs.File {
+	t.Helper()
+	var srcs []data.Source
+	for b := 0; b < blocks; b++ {
+		rr := make([]data.Record, recs)
+		for i := range rr {
+			rr[i] = data.NewRecord(schema, []data.Value{data.Int(int64(i))})
+		}
+		srcs = append(srcs, data.NewSliceSource(schema, rr))
+	}
+	f, err := fs.Create(name, srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSamplerIdleClusterReadsZero(t *testing.T) {
+	eng, _, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	s.Start()
+	eng.RunUntil(35)
+	if len(s.Samples()) < 3 {
+		t.Fatalf("samples = %d", len(s.Samples()))
+	}
+	for _, sm := range s.Samples() {
+		if sm.CPUUtilPct != 0 || sm.DiskReadKBs != 0 || sm.SlotOccupancyPct != 0 {
+			t.Fatalf("idle cluster sample non-zero: %+v", sm)
+		}
+	}
+}
+
+func TestSamplerSeesLoad(t *testing.T) {
+	eng, _, fs, jt := rig(t)
+	f := mkFile(t, fs, "in", 80, 2000)
+	job := jt.Submit(mapreduce.JobSpec{
+		NewMapper: func(*mapreduce.JobConf) mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(rec data.Record, out *mapreduce.Collector) error {
+				return nil
+			})
+		},
+	}, mapreduce.SplitsForFile(f))
+	s := NewSampler(jt, 5)
+	s.Start()
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	cpu, disk, occ := s.Averages(0)
+	if cpu <= 0 {
+		t.Fatalf("cpu avg = %v", cpu)
+	}
+	if disk <= 0 {
+		t.Fatalf("disk avg = %v", disk)
+	}
+	if occ <= 0 {
+		t.Fatalf("occupancy avg = %v", occ)
+	}
+	if cpu > 100+1e-6 || occ > 100+1e-6 {
+		t.Fatalf("percentages out of range: cpu=%v occ=%v", cpu, occ)
+	}
+}
+
+func TestAveragesExcludeWarmup(t *testing.T) {
+	eng, cl, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	s.Start()
+	// Occupy one core of node 0 from t=0 to t=20 (per-task 1-core cap).
+	cl.Node(0).CPU.Submit(20, nil)
+	eng.RunUntil(100)
+	full, _, _ := s.Averages(0)
+	late, _, _ := s.Averages(50)
+	if full <= 0 {
+		t.Fatalf("full-window cpu = %v", full)
+	}
+	if late != 0 {
+		t.Fatalf("post-warmup cpu = %v, want 0 (load ended before t=50)", late)
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	eng, _, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	s.Start()
+	eng.RunUntil(25)
+	n := len(s.Samples())
+	s.Stop()
+	eng.RunUntil(100)
+	if len(s.Samples()) > n+1 {
+		t.Fatalf("sampler kept running after Stop: %d -> %d", n, len(s.Samples()))
+	}
+}
+
+func TestDefaultIntervalThirtySeconds(t *testing.T) {
+	eng, _, _, jt := rig(t)
+	s := NewSampler(jt, 0)
+	s.Start()
+	eng.RunUntil(95)
+	if got := len(s.Samples()); got != 3 {
+		t.Fatalf("samples in 95s = %d, want 3 (30s interval)", got)
+	}
+	if math.Abs(s.Samples()[0].Time-30) > 1e-9 {
+		t.Fatalf("first sample at %v", s.Samples()[0].Time)
+	}
+}
+
+func TestLocalityPct(t *testing.T) {
+	eng, _, fs, jt := rig(t)
+	f := mkFile(t, fs, "in", 40, 100)
+	job := jt.Submit(mapreduce.JobSpec{
+		NewMapper: func(*mapreduce.JobConf) mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(data.Record, *mapreduce.Collector) error { return nil })
+		},
+	}, mapreduce.SplitsForFile(f))
+	if LocalityPct(jt) != 0 {
+		t.Fatal("locality non-zero before any maps")
+	}
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	if got := LocalityPct(jt); got < 50 || got > 100 {
+		t.Fatalf("locality = %v%%", got)
+	}
+}

@@ -1,0 +1,168 @@
+package sampling
+
+import (
+	"testing"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/core"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dataset"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/expr"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sim"
+)
+
+// endToEnd runs a dynamic sampling job over a freshly built dataset
+// under the named policy and returns the job client plus dataset.
+func endToEnd(t *testing.T, policyName string, k int64, z float64) (*core.JobClient, *dataset.Dataset) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	fs := dfs.New(cl)
+	jt := mapreduce.NewJobTracker(cl, mapreduce.DefaultConfig(), nil)
+
+	ds, err := dataset.Build(dataset.Spec{
+		Scale: 1, Seed: 77, Z: z, Selectivity: 0.002, Partitions: 40, RowsOverride: 400_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]data.Source, ds.NumPartitions())
+	for i, p := range ds.Partitions() {
+		srcs[i] = p
+	}
+	f, err := fs.Create(ds.Name(), srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proj, err := ds.Schema().Project("L_ORDERKEY", "L_PARTKEY", "L_SUPPKEY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewJobSpec(ds.Predicate(), k, proj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.DefaultRegistry().Get(policyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := core.SubmitDynamic(jt, spec, mapreduce.SplitsForFile(f), NewProvider(k, 3), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapreduce.RunUntilDone(eng, client.Job(), 1e7) {
+		t.Fatalf("job did not finish: state=%v providerErr=%v decisions=%+v",
+			client.Job().State(), client.ProviderError(), client.Decisions())
+	}
+	return client, ds
+}
+
+func TestEndToEndSampleExact(t *testing.T) {
+	// 400k rows at 0.002 selectivity = 800 matches; ask for 100.
+	client, ds := endToEnd(t, core.PolicyLA, 100, 1)
+	job := client.Job()
+	if job.State() != mapreduce.StateSucceeded {
+		t.Fatalf("state = %v (%s)", job.State(), job.Failure())
+	}
+	out := job.Output()
+	if len(out) != 100 {
+		t.Fatalf("sample size = %d, want exactly 100", len(out))
+	}
+	// Every record satisfies the predicate... but the output is
+	// projected to 3 columns, so check the predicate columns survive
+	// indirectly: for z=1 the predicate is on L_QUANTITY which is NOT
+	// in the projection — instead verify structure and count here;
+	// predicate correctness over unprojected output is covered below.
+	for _, kv := range out {
+		if kv.Key != DummyKey {
+			t.Fatalf("output key %q", kv.Key)
+		}
+		if kv.Value.Len() != 3 {
+			t.Fatalf("projected record has %d cols", kv.Value.Len())
+		}
+	}
+	_ = ds
+}
+
+func TestEndToEndUnprojectedSatisfiesPredicate(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	fs := dfs.New(cl)
+	jt := mapreduce.NewJobTracker(cl, mapreduce.DefaultConfig(), nil)
+	ds, err := dataset.Build(dataset.Spec{
+		Scale: 1, Seed: 9, Z: 2, Selectivity: 0.002, Partitions: 40, RowsOverride: 400_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]data.Source, ds.NumPartitions())
+	for i, p := range ds.Partitions() {
+		srcs[i] = p
+	}
+	f, _ := fs.Create(ds.Name(), srcs, 1)
+	spec, _ := NewJobSpec(ds.Predicate(), 50, nil, nil)
+	pol, _ := core.DefaultRegistry().Get(core.PolicyMA)
+	client, err := core.SubmitDynamic(jt, spec, mapreduce.SplitsForFile(f), NewProvider(50, 1), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapreduce.RunUntilDone(eng, client.Job(), 1e7) {
+		t.Fatal("job did not finish")
+	}
+	out := client.Job().Output()
+	if len(out) != 50 {
+		t.Fatalf("sample = %d, want 50", len(out))
+	}
+	for _, kv := range out {
+		ok, err := expr.EvalBool(ds.Predicate(), kv.Value)
+		if err != nil || !ok {
+			t.Fatalf("sampled record violates predicate: %v (%v)", kv.Value, err)
+		}
+	}
+}
+
+func TestEndToEndDynamicProcessesLessThanHadoop(t *testing.T) {
+	cDyn, _ := endToEnd(t, core.PolicyLA, 50, 0)
+	cHad, _ := endToEnd(t, core.PolicyHadoop, 50, 0)
+	dyn := cDyn.Job().CompletedMaps()
+	had := cHad.Job().CompletedMaps()
+	if had != 40 {
+		t.Fatalf("Hadoop policy processed %d partitions, want all 40", had)
+	}
+	if dyn >= had {
+		t.Fatalf("dynamic job processed %d partitions, Hadoop %d — no savings", dyn, had)
+	}
+	// Both still produce a full sample.
+	if len(cDyn.Job().Output()) != 50 || len(cHad.Job().Output()) != 50 {
+		t.Fatalf("samples: dyn=%d had=%d", len(cDyn.Job().Output()), len(cHad.Job().Output()))
+	}
+}
+
+func TestEndToEndInsufficientMatches(t *testing.T) {
+	// Ask for more than exist: job must terminate with all matches.
+	client, ds := endToEnd(t, core.PolicyHA, 10_000_000, 0)
+	job := client.Job()
+	if job.State() != mapreduce.StateSucceeded {
+		t.Fatalf("state = %v", job.State())
+	}
+	if int64(len(job.Output())) != ds.TotalMatches() {
+		t.Fatalf("got %d records, dataset has %d matches", len(job.Output()), ds.TotalMatches())
+	}
+	if job.CompletedMaps() != ds.NumPartitions() {
+		t.Fatalf("processed %d partitions; must scan everything when k is unreachable", job.CompletedMaps())
+	}
+}
+
+func TestEndToEndResponseTimesOrdered(t *testing.T) {
+	// Single-user, uniform data: aggressive policies respond faster
+	// than conservative ones on an idle cluster (paper Fig. 5 insight 3).
+	cHA, _ := endToEnd(t, core.PolicyHA, 100, 0)
+	cC, _ := endToEnd(t, core.PolicyC, 100, 0)
+	if cHA.Job().ResponseTime() >= cC.Job().ResponseTime() {
+		t.Fatalf("HA response %v >= C response %v on idle cluster",
+			cHA.Job().ResponseTime(), cC.Job().ResponseTime())
+	}
+}

@@ -1,0 +1,154 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynamicmr/internal/core"
+	"dynamicmr/internal/mapreduce"
+)
+
+// Provider is the sampling Input Provider (§IV). It draws increments
+// uniformly at random from the unprocessed partitions (randomising the
+// produced sample), estimates predicate selectivity from the counters
+// of finished maps, accounts for the expected output of in-flight maps,
+// and converts the remaining match deficit into a number of splits —
+// bounded by the policy's grab limit at each step.
+type Provider struct {
+	// K is the required sample size; read from the JobConf at Init if
+	// zero.
+	K int64
+	// Seed drives the random split order.
+	Seed int64
+
+	splits    []mapreduce.Split // randomly permuted
+	cursor    int               // splits[:cursor] have been handed out
+	totalRecs int64             // records across all splits
+
+	// decision trace for experiments
+	estimates []float64
+}
+
+// NewProvider creates a provider for sample size k.
+func NewProvider(k int64, seed int64) *Provider {
+	return &Provider{K: k, Seed: seed}
+}
+
+// Init implements core.InputProvider: receive the complete input
+// partition set and permute it uniformly at random (§IV: "the initial
+// input and all subsequent increments are chosen randomly with a
+// uniform distribution from the set of un-processed input partitions").
+func (p *Provider) Init(all []mapreduce.Split, conf *mapreduce.JobConf) error {
+	if p.K == 0 && conf != nil {
+		p.K = conf.GetInt(mapreduce.ConfSampleSize, 0)
+	}
+	if p.K <= 0 {
+		return fmt.Errorf("sampling: provider needs a positive sample size")
+	}
+	p.splits = append([]mapreduce.Split(nil), all...)
+	rng := rand.New(rand.NewSource(p.Seed))
+	rng.Shuffle(len(p.splits), func(i, j int) {
+		p.splits[i], p.splits[j] = p.splits[j], p.splits[i]
+	})
+	p.totalRecs = 0
+	for _, s := range p.splits {
+		p.totalRecs += s.NumRecords()
+	}
+	p.cursor = 0
+	return nil
+}
+
+// InitialSplits implements core.InputProvider.
+func (p *Provider) InitialSplits(grab int) []mapreduce.Split {
+	return p.take(grab)
+}
+
+// Remaining returns the number of partitions not yet handed out.
+func (p *Provider) Remaining() int { return len(p.splits) - p.cursor }
+
+// SelectivityEstimates returns the ρ̂ value observed at each
+// consultation (for experiment diagnostics).
+func (p *Provider) SelectivityEstimates() []float64 { return p.estimates }
+
+func (p *Provider) take(n int) []mapreduce.Split {
+	if n < 0 {
+		n = 0
+	}
+	if rem := p.Remaining(); n > rem {
+		n = rem
+	}
+	out := p.splits[p.cursor : p.cursor+n]
+	p.cursor += n
+	return out
+}
+
+// Next implements core.InputProvider — the §IV estimation procedure.
+func (p *Provider) Next(rep core.Report) (core.Response, []mapreduce.Split) {
+	js := rep.Job
+
+	// Favorable case: enough map output has been produced already.
+	if js.MapOutputRecords >= p.K {
+		return core.EndOfInput, nil
+	}
+	// Nothing left to add: close input; the job finishes with whatever
+	// matches exist.
+	if p.Remaining() == 0 {
+		return core.EndOfInput, nil
+	}
+
+	grab := rep.GrabLimit
+	if grab <= 0 {
+		// Policy forbids growth right now (e.g. C with zero available
+		// slots): wait and see.
+		return core.NoInputAvailable, nil
+	}
+
+	// No finished maps yet: no statistics to estimate from. Feed the
+	// allowance rather than stall.
+	if js.CompletedMaps == 0 || js.MapInputRecords == 0 {
+		return core.InputAvailable, p.take(grab)
+	}
+
+	// Estimated predicate selectivity ρ̂ from finished maps.
+	rho := float64(js.MapOutputRecords) / float64(js.MapInputRecords)
+	p.estimates = append(p.estimates, rho)
+
+	// Expected records per split, from the observed splits (§IV: "given
+	// the splits and the total input records processed so far, the
+	// Input Provider computes the expected number of records in each
+	// split").
+	recsPerSplit := float64(js.MapInputRecords) / float64(js.CompletedMaps)
+	if recsPerSplit <= 0 {
+		recsPerSplit = float64(p.totalRecs) / float64(len(p.splits))
+	}
+
+	// Expected output from pending (scheduled but unfinished) maps.
+	pendingMaps := js.ScheduledMaps - js.CompletedMaps
+	expectedPending := float64(pendingMaps) * recsPerSplit * rho
+
+	deficit := float64(p.K-js.MapOutputRecords) - expectedPending
+	if deficit <= 0 {
+		// In-flight work should already cover the sample: wait and see.
+		return core.NoInputAvailable, nil
+	}
+
+	var splitsNeeded int
+	if rho <= 0 {
+		// No matches seen yet; no basis for an estimate. Keep feeding
+		// within the allowance.
+		splitsNeeded = grab
+	} else {
+		recordsNeeded := deficit / rho
+		splitsNeeded = int(math.Ceil(recordsNeeded / recsPerSplit))
+		if splitsNeeded < 1 {
+			splitsNeeded = 1
+		}
+	}
+	if splitsNeeded > grab {
+		splitsNeeded = grab
+	}
+	return core.InputAvailable, p.take(splitsNeeded)
+}
+
+var _ core.InputProvider = (*Provider)(nil)

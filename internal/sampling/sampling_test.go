@@ -1,0 +1,244 @@
+package sampling
+
+import (
+	"testing"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dataset"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/expr"
+	"dynamicmr/internal/mapreduce"
+)
+
+var testSchema = data.NewSchema("A", "B")
+
+func rec(a, b int64) data.Record {
+	return data.NewRecord(testSchema, []data.Value{data.Int(a), data.Int(b)})
+}
+
+// predGt5 matches A > 5.
+func predGt5() expr.Expr {
+	return &expr.Binary{Op: expr.OpGt, L: &expr.Column{Name: "A"}, R: &expr.Literal{Val: data.Int(5)}}
+}
+
+func blockOf(recs ...data.Record) *dfs.Block {
+	return &dfs.Block{Source: data.NewSliceSource(testSchema, recs),
+		Replicas: []dfs.Location{{Node: 0, Disk: 0}}}
+}
+
+func TestMapperEmitsOnlyMatches(t *testing.T) {
+	m := &Mapper{Predicate: predGt5(), K: 100}
+	out := &mapreduce.Collector{}
+	for _, r := range []data.Record{rec(1, 0), rec(6, 0), rec(5, 0), rec(10, 0)} {
+		if err := m.Map(r, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.Len() != 2 {
+		t.Fatalf("emitted %d, want 2", out.Len())
+	}
+	for _, kv := range out.Pairs() {
+		if kv.Key != DummyKey {
+			t.Fatalf("key = %q, want dummy", kv.Key)
+		}
+		if kv.Value.MustGet("A").AsInt() <= 5 {
+			t.Fatalf("non-matching record emitted: %v", kv.Value)
+		}
+	}
+}
+
+func TestMapperCapsAtK(t *testing.T) {
+	m := &Mapper{Predicate: predGt5(), K: 3}
+	out := &mapreduce.Collector{}
+	for i := int64(0); i < 50; i++ {
+		if err := m.Map(rec(100+i, 0), out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.Len() != 3 {
+		t.Fatalf("emitted %d, want K=3 (Algorithm 1 bound)", out.Len())
+	}
+}
+
+func TestMapperProjection(t *testing.T) {
+	proj, _ := testSchema.Project("B")
+	m := &Mapper{Predicate: predGt5(), K: 10, Projection: proj}
+	out := &mapreduce.Collector{}
+	m.Map(rec(9, 42), out)
+	got := out.Pairs()[0].Value
+	if got.Len() != 1 || got.MustGet("B").AsInt() != 42 {
+		t.Fatalf("projection failed: %v", got)
+	}
+}
+
+func TestMapperPredicateErrorPropagates(t *testing.T) {
+	bad := &expr.Binary{Op: expr.OpGt, L: &expr.Column{Name: "MISSING"}, R: &expr.Literal{Val: data.Int(0)}}
+	m := &Mapper{Predicate: bad, K: 10}
+	if err := m.Map(rec(1, 1), &mapreduce.Collector{}); err == nil {
+		t.Fatal("predicate error swallowed")
+	}
+}
+
+func TestMapSplitScanFallback(t *testing.T) {
+	b := blockOf(rec(1, 0), rec(7, 0), rec(9, 0), rec(2, 0))
+	m := &Mapper{Predicate: predGt5(), K: 10}
+	out := &mapreduce.Collector{}
+	ctx := &mapreduce.TaskContext{Source: b.Source}
+	if err := m.MapSplit(ctx, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("scan fallback emitted %d, want 2", out.Len())
+	}
+}
+
+func TestMapSplitStopsAtK(t *testing.T) {
+	var recs []data.Record
+	for i := int64(0); i < 100; i++ {
+		recs = append(recs, rec(10+i, 0))
+	}
+	b := blockOf(recs...)
+	m := &Mapper{Predicate: predGt5(), K: 4}
+	out := &mapreduce.Collector{}
+	if err := m.MapSplit(&mapreduce.TaskContext{Source: b.Source}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("emitted %d, want 4", out.Len())
+	}
+}
+
+func TestMapSplitAcceleratedPath(t *testing.T) {
+	ds, err := dataset.Build(dataset.Spec{
+		Scale: 1, Seed: 5, Z: 0, Selectivity: 0.01, Partitions: 10, RowsOverride: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ds.Partition(0)
+	m := &Mapper{Predicate: ds.Predicate(), K: 1_000_000}
+	out := &mapreduce.Collector{}
+	if err := m.MapSplit(&mapreduce.TaskContext{Source: p}, out); err != nil {
+		t.Fatal(err)
+	}
+	if int64(out.Len()) != p.NumMatches() {
+		t.Fatalf("accelerated path emitted %d, plan says %d", out.Len(), p.NumMatches())
+	}
+	// Every emitted record genuinely satisfies the predicate.
+	for _, kv := range out.Pairs() {
+		ok, err := expr.EvalBool(ds.Predicate(), kv.Value)
+		if err != nil || !ok {
+			t.Fatalf("emitted record fails predicate: %v (%v)", kv.Value, err)
+		}
+	}
+}
+
+func TestReducerTakesFirstK(t *testing.T) {
+	r := &Reducer{K: 3}
+	out := &mapreduce.Collector{}
+	vals := []data.Record{rec(1, 0), rec(2, 0), rec(3, 0), rec(4, 0), rec(5, 0)}
+	if err := r.Reduce(DummyKey, vals, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("reduced to %d, want 3", out.Len())
+	}
+	for i, kv := range out.Pairs() {
+		if kv.Value.MustGet("A").AsInt() != int64(i+1) {
+			t.Fatalf("Algorithm 2 must take the FIRST k; got %v at %d", kv.Value, i)
+		}
+	}
+}
+
+func TestReducerRandomK(t *testing.T) {
+	vals := make([]data.Record, 100)
+	for i := range vals {
+		vals[i] = rec(int64(i), 0)
+	}
+	r := &Reducer{K: 10, Random: true, Seed: 7}
+	out := &mapreduce.Collector{}
+	if err := r.Reduce(DummyKey, vals, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("random-k emitted %d, want 10", out.Len())
+	}
+	// Deterministic under the same seed.
+	out2 := &mapreduce.Collector{}
+	(&Reducer{K: 10, Random: true, Seed: 7}).Reduce(DummyKey, vals, out2)
+	for i := range out.Pairs() {
+		if out.Pairs()[i].Value.String() != out2.Pairs()[i].Value.String() {
+			t.Fatal("random-k not deterministic under fixed seed")
+		}
+	}
+	// Not simply the first k (vanishing probability with 100 -> 10).
+	firstK := true
+	seen := map[int64]bool{}
+	for _, kv := range out.Pairs() {
+		v := kv.Value.MustGet("A").AsInt()
+		if seen[v] {
+			t.Fatalf("duplicate record %d in random sample", v)
+		}
+		seen[v] = true
+		if v >= 10 {
+			firstK = false
+		}
+	}
+	if firstK {
+		t.Fatal("random-k degenerated to first-k")
+	}
+}
+
+func TestReducerFactoryReadsConf(t *testing.T) {
+	conf := mapreduce.NewJobConf()
+	conf.SetBool(mapreduce.ConfRandomSample, true)
+	conf.SetInt(mapreduce.ConfRandomSeed, 99)
+	red := NewReducerFactory(5)(conf).(*Reducer)
+	if !red.Random || red.Seed != 99 {
+		t.Fatalf("reducer = %+v", red)
+	}
+}
+
+func TestReducerFewerThanK(t *testing.T) {
+	r := &Reducer{K: 10}
+	out := &mapreduce.Collector{}
+	if err := r.Reduce(DummyKey, []data.Record{rec(1, 0)}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("reduced to %d, want 1", out.Len())
+	}
+}
+
+func TestNewJobSpecValidation(t *testing.T) {
+	if _, err := NewJobSpec(nil, 10, nil, nil); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, err := NewJobSpec(predGt5(), 0, nil, nil); err == nil {
+		t.Error("zero k accepted")
+	}
+}
+
+func TestNewJobSpecStampsConf(t *testing.T) {
+	proj, _ := testSchema.Project("A")
+	spec, err := NewJobSpec(predGt5(), 500, proj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Conf
+	if c.GetInt(mapreduce.ConfSampleSize, 0) != 500 {
+		t.Error("sample size not set")
+	}
+	if c.Get(mapreduce.ConfPredicate, "") != predGt5().String() {
+		t.Error("predicate not set")
+	}
+	if c.Get(mapreduce.ConfProjection, "") != "A" {
+		t.Error("projection not set")
+	}
+	if c.GetInt(mapreduce.ConfNumReduces, 0) != 1 {
+		t.Error("sampling job must use a single reduce")
+	}
+	if spec.NewMapper == nil || spec.NewReducer == nil {
+		t.Error("factories missing")
+	}
+}

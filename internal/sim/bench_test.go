@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkSharedResourceChurn(b *testing.B) {
+	e := NewEngine()
+	r := NewSharedResource(e, "cpu", 4, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Submit(1, nil)
+		if r.ActiveDemands() > 256 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkFIFOQueue(b *testing.B) {
+	e := NewEngine()
+	q := NewFIFOQueue(e, "disk", 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Submit(1, nil)
+		if q.QueueLength() > 256 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,166 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue, and contended resources (processor
+// sharing and FIFO). It is the substrate under the simulated cluster on
+// which the mini MapReduce runtime executes.
+//
+// All times are in seconds of virtual time, represented as float64. The
+// engine is single-threaded; callbacks scheduled on the engine run one at
+// a time, so no locking is needed in simulation code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events are ordered by time, with ties
+// broken by scheduling order, which makes runs fully deterministic.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 if not queued
+	fn       func()
+	canceled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// processed counts events that have fired, for diagnostics.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it would break causality and always indicates a bug.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run return after the current event's callback completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil processes events with time <= t, then advances the clock to t.
+// Events scheduled at exactly t do fire.
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].time <= t {
+		e.step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// Step fires the single next event. It reports false when the queue is
+// empty. Drivers that keep periodic events alive (heartbeats) use Step
+// in a condition loop instead of Run.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	e.step()
+	return true
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.canceled {
+		return
+	}
+	if ev.time < e.now {
+		panic("sim: event time regression")
+	}
+	e.now = ev.time
+	e.processed++
+	ev.fn()
+}

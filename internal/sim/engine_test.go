@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, func() { order = append(order, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.After(2.5, func() { at = e.Now() })
+	e.Run()
+	if at != 2.5 {
+		t.Fatalf("callback ran at %v, want 2.5", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []float64
+	e.After(1, func() {
+		trace = append(trace, e.Now())
+		e.After(1, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []float64{1, 2}
+	if len(trace) != 2 || trace[0] != want[0] || trace[1] != want[1] {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(1, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // must not panic
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(float64(i), func() { fired = append(fired, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(fired) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v == 4 || v == 7 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilAdvancesClockToBound(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(3, func() { fired++ })
+	e.RunUntil(2)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now() = %v, want 2", e.Now())
+	}
+	e.RunUntil(10)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+	// Run can be resumed.
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestProcessedAndPendingCounters(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", e.Pending())
+	}
+}
+
+// Property: with any set of non-negative delays, the clock observed by
+// callbacks is non-decreasing and every event fires exactly once.
+func TestClockMonotonicityProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 512 {
+			delays = delays[:512]
+		}
+		e := NewEngine()
+		last := -1.0
+		fired := 0
+		ok := true
+		for _, d := range delays {
+			e.At(float64(d)/7.0, func() {
+				now := e.Now()
+				if now < last {
+					ok = false
+				}
+				last = now
+				fired++
+			})
+		}
+		e.Run()
+		return ok && fired == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaved schedule/cancel keeps the heap consistent.
+func TestRandomCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		var live []*Event
+		fired := 0
+		canceled := 0
+		total := 200
+		for i := 0; i < total; i++ {
+			ev := e.At(rng.Float64()*100, func() { fired++ })
+			live = append(live, ev)
+			if rng.Intn(3) == 0 && len(live) > 0 {
+				k := rng.Intn(len(live))
+				if live[k].index >= 0 {
+					e.Cancel(live[k])
+					canceled++
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		e.Run()
+		if fired+canceled != total {
+			t.Fatalf("fired %d + canceled %d != %d", fired, canceled, total)
+		}
+	}
+}

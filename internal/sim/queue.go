@@ -1,0 +1,78 @@
+package sim
+
+// FIFOQueue models a resource that serves one request at a time in
+// arrival order at a fixed rate — e.g. a disk arm doing strictly
+// sequential reads, or a lock. It is provided alongside SharedResource
+// for substrates that want queueing rather than sharing semantics.
+type FIFOQueue struct {
+	eng  *Engine
+	name string
+	rate float64 // units of work per second
+
+	busy    bool
+	pending []*queued
+	// usedIntegral accumulates busy time * rate (units served).
+	usedIntegral float64
+	busySince    float64
+}
+
+type queued struct {
+	work float64
+	done func()
+}
+
+// NewFIFOQueue creates a FIFO server with the given service rate.
+func NewFIFOQueue(eng *Engine, name string, rate float64) *FIFOQueue {
+	if rate <= 0 {
+		panic("sim: FIFOQueue rate must be positive")
+	}
+	return &FIFOQueue{eng: eng, name: name, rate: rate}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *FIFOQueue) Name() string { return q.name }
+
+// QueueLength returns the number of waiting (not in service) requests.
+func (q *FIFOQueue) QueueLength() int { return len(q.pending) }
+
+// Busy reports whether a request is in service.
+func (q *FIFOQueue) Busy() bool { return q.busy }
+
+// UsedIntegral returns total units of work served up to now.
+func (q *FIFOQueue) UsedIntegral() float64 {
+	if q.busy {
+		return q.usedIntegral + (q.eng.Now()-q.busySince)*q.rate
+	}
+	return q.usedIntegral
+}
+
+// Submit enqueues work; done fires when it has been served.
+func (q *FIFOQueue) Submit(work float64, done func()) {
+	if work <= 0 {
+		q.eng.After(0, done)
+		return
+	}
+	q.pending = append(q.pending, &queued{work: work, done: done})
+	if !q.busy {
+		q.serveNext()
+	}
+}
+
+func (q *FIFOQueue) serveNext() {
+	if len(q.pending) == 0 {
+		q.busy = false
+		return
+	}
+	item := q.pending[0]
+	q.pending = q.pending[1:]
+	q.busy = true
+	q.busySince = q.eng.Now()
+	q.eng.After(item.work/q.rate, func() {
+		q.usedIntegral += item.work
+		q.busy = false
+		if item.done != nil {
+			item.done()
+		}
+		q.serveNext()
+	})
+}

@@ -1,0 +1,28 @@
+package tpch
+
+import "testing"
+
+func BenchmarkRowGeneration(b *testing.B) {
+	g := NewGenerator(1, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Row(int64(i) % g.NumRows())
+	}
+}
+
+func BenchmarkRowEncodedSize(b *testing.B) {
+	g := NewGenerator(1, 1)
+	r := g.Row(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.EncodedSize()
+	}
+}
+
+func BenchmarkMix(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= mix(uint64(i))
+	}
+	_ = acc
+}

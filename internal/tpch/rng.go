@@ -1,0 +1,55 @@
+// Package tpch generates TPC-H LINEITEM data deterministically and
+// seekably: the i-th row of a given (seed, scale) is a pure function of
+// (seed, i), so any sub-range of a multi-hundred-gigabyte dataset can be
+// produced on demand without materialising the rest.
+package tpch
+
+// mix implements the SplitMix64 finaliser, used as a counter-based PRNG:
+// hashing (seed, counter) gives independent, reproducible streams with
+// random access — exactly what a seekable data generator needs.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a cheap counter-based random stream for one row: successive
+// calls hash an incrementing counter against the row's base state.
+type rng struct {
+	state uint64
+	ctr   uint64
+}
+
+// rowRNG returns the random stream for row `row` of stream `seed`.
+func rowRNG(seed, row uint64) *rng {
+	return &rng{state: mix(seed ^ mix(row+0x51ed2701)), ctr: 0}
+}
+
+func (r *rng) next() uint64 {
+	r.ctr++
+	return mix(r.state + r.ctr*0x632be59bd9b4e019)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		panic("tpch: intn on non-positive bound")
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform integer in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int64) int64 {
+	return lo + r.intn(hi-lo+1)
+}
+
+// float64n returns a uniform float in [0, 1).
+func (r *rng) float64n() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// pick returns a uniformly chosen element of list.
+func pick[T any](r *rng, list []T) T {
+	return list[r.intn(int64(len(list)))]
+}
