@@ -12,11 +12,14 @@ package dynamicmr
 // full grids).
 
 import (
+	"math"
 	"os"
 	"testing"
+	"time"
 
 	"dynamicmr/internal/core"
 	"dynamicmr/internal/experiments"
+	"dynamicmr/internal/trace"
 )
 
 // benchOptions picks the experiment geometry for benchmarks.
@@ -228,5 +231,63 @@ func BenchmarkSampleQuery(b *testing.B) {
 		if len(res.Rows) != 200 {
 			b.Fatalf("rows = %d", len(res.Rows))
 		}
+	}
+}
+
+// runQuickstart executes the README quickstart query on a fresh
+// cluster and returns the wall-clock cost and virtual finish time.
+func runQuickstart(t *testing.T, opts ...Option) (wall time.Duration, virtual float64) {
+	t.Helper()
+	c, err := NewCluster(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadLineItem("lineitem", DatasetSpec{
+		Scale: 2, Skew: 1, Selectivity: 0.005, Rows: 400_000, Seed: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := c.Query("SELECT L_ORDERKEY FROM lineitem WHERE L_QUANTITY > 50 LIMIT 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	return time.Since(start), c.Now()
+}
+
+// TestTracingDisabledOverhead guards the nil-tracer fast path: with
+// tracing off, the instrumentation hooks must cost under 5% of the
+// traced run's wall clock on the quickstart job (min-of-N to damp
+// scheduler noise, plus a small absolute allowance so sub-millisecond
+// jitter cannot fail the build), and the simulated timeline must be
+// unchanged.
+func TestTracingDisabledOverhead(t *testing.T) {
+	const runs = 5
+	minWall := func(opts ...Option) (time.Duration, float64) {
+		best, virtual := time.Duration(1<<62), 0.0
+		for i := 0; i < runs; i++ {
+			w, v := runQuickstart(t, opts...)
+			if w < best {
+				best = w
+			}
+			virtual = v
+		}
+		return best, virtual
+	}
+	// Interleaving warm-up: first measured pass shouldn't pay for page
+	// cache and JIT-less warmup alone.
+	runQuickstart(t)
+	off, offV := minWall()
+	on, onV := minWall(WithTracing(trace.Config{}))
+
+	if math.Abs(offV-onV) > 0.01*onV {
+		t.Fatalf("tracing changed the virtual timeline: off=%vs on=%vs", offV, onV)
+	}
+	budget := on + on/20 + 25*time.Millisecond
+	if off > budget {
+		t.Fatalf("tracing-disabled run took %v, traced run %v: disabled overhead exceeds 5%%", off, on)
 	}
 }

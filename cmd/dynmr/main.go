@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair] [-e "SQL"]
+//	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair] [-trace-out FILE] [-e "SQL"]
 //
 // Without -e, statements are read from stdin (one per line, ';'
-// optional).
+// optional). With -trace-out, a Chrome trace-event JSON file covering
+// every task attempt, policy decision and utilization sample is
+// written at exit — load it in https://ui.perfetto.dev or
+// chrome://tracing.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"dynamicmr"
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/trace"
 )
 
 func main() {
@@ -31,7 +35,8 @@ func main() {
 	fair := flag.Bool("fair", false, "use the Fair Scheduler instead of FIFO")
 	exec := flag.String("e", "", "execute this statement and exit")
 	maxRows := flag.Int("maxrows", 20, "result rows to print")
-	trace := flag.Bool("trace", false, "print the task-level event log for each job")
+	eventLog := flag.Bool("trace", false, "print the task-level event log for each job")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) at exit")
 	flag.Parse()
 
 	var opts []dynamicmr.Option
@@ -41,11 +46,14 @@ func main() {
 	if *fair {
 		opts = append(opts, dynamicmr.WithFairScheduler(5))
 	}
+	if *traceOut != "" {
+		opts = append(opts, dynamicmr.WithTracing(trace.Config{}))
+	}
 	c, err := dynamicmr.NewCluster(opts...)
 	if err != nil {
 		fatal(err)
 	}
-	if *trace {
+	if *eventLog {
 		c.JobTracker().Subscribe(func(e mapreduce.TaskEvent) {
 			fmt.Fprintln(os.Stderr, e)
 		})
@@ -75,6 +83,7 @@ func main() {
 
 	if *exec != "" {
 		runOne(*exec)
+		writeTrace(c, *traceOut)
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -84,6 +93,26 @@ func main() {
 		runOne(sc.Text())
 		fmt.Print("dynmr> ")
 	}
+	writeTrace(c, *traceOut)
+}
+
+// writeTrace exports the session's Chrome trace when -trace-out is set.
+func writeTrace(c *dynamicmr.Cluster, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.Tracer().WriteChromeTrace(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", path)
 }
 
 func printResult(c *dynamicmr.Cluster, res *hive.Result, maxRows int) {

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
-//	            [-mode quick|paper] [-csv]
+//	            [-mode quick|paper] [-csv] [-trace-out DIR]
+//
+// With -trace-out, each multi-user workload cell (figures 6-8) writes
+// its 30-second utilization timeline as a CSV file into DIR (created
+// if missing), alongside the printed summary tables.
 //
 // Quick mode (default) shrinks datasets and measurement windows about
 // an order of magnitude and finishes in minutes; paper mode uses the
@@ -28,6 +32,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated artifacts to regenerate: all, tableI, tableII, tableIII, figure4, figure5, figure6, figure7, figure8, ablationInterval, ablationThreshold, ablationGrab, ablationAdaptive")
 	mode := flag.String("mode", "quick", "quick (scaled-down, minutes) or paper (full §V parameters)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	traceOut := flag.String("trace-out", "", "directory for per-cell utilization timeline CSVs (figures 6-8)")
 	flag.Parse()
 
 	var opt experiments.Options
@@ -39,6 +44,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -mode %q (quick or paper)\n", *mode)
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opt.TraceDir = *traceOut
 	}
 
 	targets := strings.Split(strings.ToLower(*run), ",")

@@ -15,6 +15,7 @@ import (
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
+	"dynamicmr/internal/trace"
 )
 
 // DatasetSpec describes a LINEITEM dataset to generate and load.
@@ -80,6 +81,16 @@ func WithPolicies(r *core.Registry) Option {
 	return func(c *config) { c.policies = r }
 }
 
+// WithTracing enables the tracing/metrics subsystem with the given
+// configuration (Enabled is forced on). The collected spans, policy
+// audit log and utilization timeline are available via Tracer().
+func WithTracing(tc trace.Config) Option {
+	return func(c *config) {
+		tc.Enabled = true
+		c.runtime.Trace = tc
+	}
+}
+
 // Cluster is the top-level handle: a simulated Hadoop cluster with a
 // DFS, a JobTracker, a table catalog and a policy registry.
 type Cluster struct {
@@ -138,6 +149,11 @@ func (c *Cluster) JobTracker() *mapreduce.JobTracker { return c.jt }
 
 // Engine exposes the discrete-event clock for advanced use.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Tracer returns the cluster's tracer; nil unless built WithTracing.
+// Use it to export a Chrome trace (WriteChromeTrace), the policy audit
+// log (WritePolicyCSV) or the utilization timeline (WriteTimelineCSV).
+func (c *Cluster) Tracer() *trace.Tracer { return c.jt.Tracer() }
 
 // Tables lists the registered table names.
 func (c *Cluster) Tables() []string { return c.catalog.Names() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/trace"
 )
 
 // AdaptiveSelector implements the paper's §VII future-work proposal:
@@ -123,6 +124,9 @@ type AdaptiveProvider struct {
 	// K is the sample target used to derive the needed match rate;
 	// read from the JobConf when zero.
 	K int64
+	// Tracer, when enabled, receives a policy-switch instant whenever
+	// the selection changes. SubmitDynamic wires it from the JobTracker.
+	Tracer *trace.Tracer
 
 	total    int64 // records across all input
 	perSplit float64
@@ -170,6 +174,9 @@ func (p *AdaptiveProvider) Next(rep Report) (Response, []mapreduce.Split) {
 		needed = float64(p.K) / (float64(rep.Job.ScheduledMaps) * p.perSplit)
 	}
 	pol := p.Selector.Pick(rep.Cluster, est, needed)
+	if p.lastPol != nil && pol != p.lastPol {
+		p.Tracer.Instant(trace.EventPolicySwitch, trace.CatPolicy, rep.Job.Now, rep.Job.JobID, -1, -1)
+	}
 	p.lastPol = pol
 	p.polTrace = append(p.polTrace, pol.Name)
 	grab, err := pol.GrabLimitWith(rep.Cluster.AvailableMapSlots(),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/trace"
 )
 
 // Decision records one Input Provider consultation, for diagnostics and
@@ -19,6 +20,9 @@ type Decision struct {
 	GrabLimit int
 	// CompletedMaps at the time of the evaluation.
 	CompletedMaps int
+	// Policy is the name of the policy governing this step (for
+	// adaptive providers, the policy selected at this evaluation).
+	Policy string
 }
 
 // JobClient submits and supervises one dynamic job (§IV): it
@@ -73,6 +77,10 @@ func SubmitDynamic(jt *mapreduce.JobTracker, spec mapreduce.JobSpec, allSplits [
 
 	c := &JobClient{jt: jt, policy: policy, provider: provider, totalSplits: len(allSplits)}
 
+	if ap, ok := provider.(*AdaptiveProvider); ok && ap.Tracer == nil {
+		ap.Tracer = jt.Tracer()
+	}
+
 	if err := provider.Init(allSplits, conf); err != nil {
 		return nil, fmt.Errorf("core: provider init: %w", err)
 	}
@@ -89,6 +97,7 @@ func SubmitDynamic(jt *mapreduce.JobTracker, spec mapreduce.JobSpec, allSplits [
 	c.addedSplits = len(initial)
 
 	c.job = jt.Submit(spec, initial)
+	c.auditDecision(trace.VerdictInit, jt.Status(c.job), cs, grab, c.addedSplits, 0)
 
 	if c.providerErr != nil || c.addedSplits >= c.totalSplits {
 		// Nothing more can ever be added: close input immediately so
@@ -129,6 +138,47 @@ func (c *JobClient) closeInput() {
 	}
 }
 
+// policyName resolves the name of the policy governing the current
+// step: providers that select policies at runtime (AdaptiveProvider)
+// report their latest pick, everything else the submission policy.
+func (c *JobClient) policyName() string {
+	if cp, ok := c.provider.(interface{ CurrentPolicy() *Policy }); ok {
+		if p := cp.CurrentPolicy(); p != nil {
+			return p.Name
+		}
+	}
+	return c.policy.Name
+}
+
+// auditDecision records one Input Provider evaluation — its inputs and
+// verdict — in the tracer's audit log. No-op when tracing is disabled.
+func (c *JobClient) auditDecision(verdict string, status mapreduce.JobStatus,
+	cs mapreduce.ClusterStatus, grab, added int, progressPct float64) {
+	tr := c.jt.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	tr.RecordPolicyDecision(trace.PolicyDecision{
+		Time:             c.jt.Engine().Now(),
+		JobID:            status.JobID,
+		Policy:           c.policyName(),
+		Verdict:          verdict,
+		Added:            added,
+		GrabLimit:        grab,
+		ScheduledMaps:    status.ScheduledMaps,
+		CompletedMaps:    status.CompletedMaps,
+		PendingMaps:      status.PendingMaps,
+		RunningMaps:      status.RunningMaps,
+		MapInputRecords:  status.MapInputRecords,
+		MapOutputRecords: status.MapOutputRecords,
+		TotalSlots:       cs.TotalMapSlots,
+		FreeSlots:        cs.AvailableMapSlots(),
+		QueuedTasks:      cs.QueuedMapTasks,
+		WorkThresholdPct: c.policy.WorkThresholdPct,
+		ProgressPct:      progressPct,
+	})
+}
+
 // safeInitial calls provider.InitialSplits with panic isolation.
 func (c *JobClient) safeInitial(grab int) (out []mapreduce.Split) {
 	defer func() {
@@ -164,10 +214,14 @@ func (c *JobClient) evaluate() {
 	// complete would stall the job forever, so the provider is
 	// consulted regardless (documented deviation; the paper does not
 	// discuss the stall).
+	progressPct := 0.0
+	if c.totalSplits > 0 {
+		progressPct = float64(status.CompletedMaps-c.completedAtEval) * 100 / float64(c.totalSplits)
+	}
 	idle := status.PendingMaps == 0 && status.RunningMaps == 0
 	if !idle && c.policy.WorkThresholdPct > 0 && c.totalSplits > 0 {
-		progress := float64(status.CompletedMaps-c.completedAtEval) * 100 / float64(c.totalSplits)
-		if progress < c.policy.WorkThresholdPct {
+		if progressPct < c.policy.WorkThresholdPct {
+			c.auditDecision(trace.VerdictSkip, status, c.jt.ClusterStatus(), 0, 0, progressPct)
 			c.jt.Engine().After(c.policy.EvaluationIntervalS, c.evaluate)
 			return
 		}
@@ -189,11 +243,13 @@ func (c *JobClient) evaluate() {
 		Response:      resp,
 		GrabLimit:     grab,
 		CompletedMaps: status.CompletedMaps,
+		Policy:        c.policyName(),
 	}
 
 	switch resp {
 	case EndOfInput:
 		c.decisions = append(c.decisions, d)
+		c.auditDecision(trace.VerdictEOI, status, cs, grab, 0, progressPct)
 		c.closeInput()
 		return
 	case InputAvailable:
@@ -210,6 +266,7 @@ func (c *JobClient) evaluate() {
 		}
 		d.Added = len(splits)
 		c.decisions = append(c.decisions, d)
+		c.auditDecision(trace.VerdictGrow, status, cs, grab, len(splits), progressPct)
 		if c.addedSplits >= c.totalSplits {
 			// Everything scheduled; no future increment is possible.
 			c.closeInput()
@@ -217,6 +274,7 @@ func (c *JobClient) evaluate() {
 		}
 	case NoInputAvailable:
 		c.decisions = append(c.decisions, d)
+		c.auditDecision(trace.VerdictWait, status, cs, grab, 0, progressPct)
 	}
 	c.jt.Engine().After(c.policy.EvaluationIntervalS, c.evaluate)
 }

@@ -78,6 +78,9 @@ func figure6Cell(opt Options, cache *dsCache, z float64, policy string) (Figure6
 		return Figure6Cell{}, fmt.Errorf("figure6 (z=%g policy=%s): %w", z, policy, err)
 	}
 	cpu, disk, occ := sampler.Averages(opt.WarmupS)
+	if err := writeCellTimeline(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), sampler); err != nil {
+		return Figure6Cell{}, err
+	}
 	cs, _ := results.Class("Sampling")
 	return Figure6Cell{
 		Policy:       policy,

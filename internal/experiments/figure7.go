@@ -118,6 +118,13 @@ func heterogeneousCell(opt Options, cache *dsCache, sched mapreduce.TaskSchedule
 		return Figure7Cell{}, fmt.Errorf("heterogeneous (frac=%g policy=%s): %w", frac, policy, err)
 	}
 	_, _, occ := sampler.Averages(opt.WarmupS)
+	fig := "figure7"
+	if sched != nil {
+		fig = "figure8"
+	}
+	if err := writeCellTimeline(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), sampler); err != nil {
+		return Figure7Cell{}, err
+	}
 	samp, _ := results.Class("Sampling")
 	scan, _ := results.Class("Non-Sampling")
 	return Figure7Cell{

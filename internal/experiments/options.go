@@ -43,6 +43,10 @@ type Options struct {
 	Policies []string
 	// Seed makes the whole experiment deterministic.
 	Seed int64
+	// TraceDir, when set, receives one utilization-timeline CSV per
+	// workload cell (figure6_*.csv, figure7_*.csv, ...), written from
+	// the cell's metrics sampler. The directory must exist.
+	TraceDir string
 }
 
 // DefaultOptions is the paper-faithful configuration.

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"dynamicmr/internal/metrics"
+	"dynamicmr/internal/trace"
+)
+
+// writeCellTimeline exports one workload cell's utilization timeline as
+// CSV into opt.TraceDir (no-op when unset). The file carries the same
+// columns the paper's §V-D monitoring reports.
+func writeCellTimeline(opt Options, name string, sampler *metrics.Sampler) error {
+	if opt.TraceDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(opt.TraceDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteMetricCSV(f, sampler.Timeline()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

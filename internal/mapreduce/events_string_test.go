@@ -1,0 +1,54 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTaskEventTypeStringRoundTrip pins every declared event constant
+// to its name: adding a constant without extending String() (which
+// would print the TaskEventType(n) fallback) fails both subtests.
+func TestTaskEventTypeStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		ev   TaskEventType
+		want string
+	}{
+		{EventJobSubmitted, "JOB_SUBMITTED"},
+		{EventMapStarted, "MAP_STARTED"},
+		{EventMapFinished, "MAP_FINISHED"},
+		{EventMapFailed, "MAP_FAILED"},
+		{EventMapKilled, "MAP_KILLED"},
+		{EventReduceStarted, "REDUCE_STARTED"},
+		{EventReduceFinished, "REDUCE_FINISHED"},
+		{EventJobFinished, "JOB_FINISHED"},
+	}
+	if TaskEventType(len(cases)) == EventJobSubmitted {
+		t.Fatal("impossible: constant range empty")
+	}
+	seen := make(map[string]bool)
+	for _, c := range cases {
+		got := c.ev.String()
+		if got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.ev, got, c.want)
+		}
+		if strings.Contains(got, "TaskEventType(") {
+			t.Errorf("%q hit the numeric fallback", got)
+		}
+		if seen[got] {
+			t.Errorf("duplicate name %q", got)
+		}
+		seen[got] = true
+	}
+	// Walk the contiguous iota range: every value below the first
+	// fallback must be covered by the table above, so the table cannot
+	// silently lag behind a newly added constant.
+	n := 0
+	for ; n < 256; n++ {
+		if strings.Contains(TaskEventType(n).String(), "TaskEventType(") {
+			break
+		}
+	}
+	if n != len(cases) {
+		t.Fatalf("String() covers %d event types, table covers %d — keep them in sync", n, len(cases))
+	}
+}

@@ -96,6 +96,10 @@ type MapTask struct {
 
 	completed bool
 	running   []*mapAttempt
+	// enqueued is when the task last entered the pending queue (at
+	// AddSplits or requeue-after-failure); queue-wait spans measure from
+	// it to the next non-speculative launch.
+	enqueued float64
 }
 
 // Completed reports whether some attempt of the task succeeded.

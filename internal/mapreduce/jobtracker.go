@@ -7,6 +7,7 @@ import (
 
 	"dynamicmr/internal/cluster"
 	"dynamicmr/internal/sim"
+	"dynamicmr/internal/trace"
 )
 
 // Costs models the software-side execution costs of task attempts.
@@ -69,6 +70,10 @@ type Config struct {
 	// SpeculativeMinCompleted is the minimum completed maps before the
 	// median is trusted (default 3).
 	SpeculativeMinCompleted int
+	// Trace configures the tracing/metrics subsystem. Zero value means
+	// disabled: the runtime keeps a nil *trace.Tracer and every
+	// instrumentation site reduces to one nil check.
+	Trace trace.Config
 }
 
 // DefaultConfig returns the standard runtime configuration.
@@ -129,6 +134,10 @@ type JobTracker struct {
 
 	listeners []func(TaskEvent)
 
+	// tracer is nil unless cfg.Trace.Enabled; *trace.Tracer methods are
+	// nil-safe, so instrumentation sites call it unconditionally.
+	tracer *trace.Tracer
+
 	started bool
 }
 
@@ -144,7 +153,7 @@ func NewJobTracker(c *cluster.Cluster, cfg Config, sched TaskScheduler) *JobTrac
 	if sched == nil {
 		sched = NewFIFOScheduler()
 	}
-	jt := &JobTracker{eng: c.Eng, cluster: c, cfg: cfg, sched: sched}
+	jt := &JobTracker{eng: c.Eng, cluster: c, cfg: cfg, sched: sched, tracer: trace.New(cfg.Trace)}
 	for _, n := range c.Nodes {
 		jt.trackers = append(jt.trackers, &TaskTracker{
 			jt:          jt,
@@ -168,6 +177,11 @@ func (jt *JobTracker) Scheduler() TaskScheduler { return jt.sched }
 // Jobs returns all submitted jobs in submission order.
 func (jt *JobTracker) Jobs() []*Job { return jt.jobs }
 
+// Tracer returns the runtime's tracer, nil when tracing is disabled.
+// trace.Tracer methods are nil-safe, so callers may use the result
+// unconditionally; gate on Tracer().Enabled() to skip whole blocks.
+func (jt *JobTracker) Tracer() *trace.Tracer { return jt.tracer }
+
 // start launches staggered periodic heartbeats.
 func (jt *JobTracker) start() {
 	if jt.started {
@@ -180,9 +194,14 @@ func (jt *JobTracker) start() {
 		offset := jt.cfg.HeartbeatIntervalS * float64(i+1) / float64(n)
 		jt.eng.After(offset, func() { jt.heartbeat(tt) })
 	}
+	jt.startTelemetry()
 }
 
 func (jt *JobTracker) heartbeat(tt *TaskTracker) {
+	if jt.tracer.Enabled() {
+		jt.tracer.Instant(trace.EventHeartbeat, trace.CatNode, jt.eng.Now(), -1, -1, tt.node.ID)
+		jt.tracer.Inc(trace.CounterHeartbeats, 1)
+	}
 	jt.assign(tt)
 	jt.eng.After(jt.cfg.HeartbeatIntervalS, func() { jt.heartbeat(tt) })
 }
@@ -284,6 +303,8 @@ func (jt *JobTracker) Submit(spec JobSpec, splits []Split) *Job {
 	}
 	jt.start()
 	jt.emit(TaskEvent{Type: EventJobSubmitted, JobID: j.ID, TaskIndex: -1, Node: -1})
+	jt.tracer.Instant(trace.EventJobSubmitted, trace.CatJob, j.SubmitTime, j.ID, -1, -1)
+	jt.tracer.Inc(trace.CounterJobsSubmitted, 1)
 	// A job with no input and no future input can complete immediately.
 	jt.maybeStartReducePhase(j)
 	return j
@@ -304,7 +325,7 @@ func (jt *JobTracker) AddSplits(j *Job, splits []Split) error {
 
 func (jt *JobTracker) addSplits(j *Job, splits []Split) {
 	for _, s := range splits {
-		t := &MapTask{Job: j, Index: j.scheduled, Split: s, Node: -1}
+		t := &MapTask{Job: j, Index: j.scheduled, Split: s, Node: -1, enqueued: jt.eng.Now()}
 		j.scheduled++
 		j.pendingMaps = append(j.pendingMaps, t)
 	}
@@ -442,11 +463,13 @@ func (jt *JobTracker) failJob(j *Job, why string) {
 	if j.Done() {
 		return
 	}
+	mapDone := j.state == StateReducePhase
 	j.state = StateFailed
 	j.failure = why
 	j.pendingMaps = nil
 	j.pendingReduces = nil
 	j.FinishTime = jt.eng.Now()
+	jt.traceJobEnd(j, trace.OutcomeFailed, mapDone)
 	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
 	if j.Spec.OnComplete != nil {
 		j.Spec.OnComplete(j)
@@ -465,10 +488,33 @@ func (jt *JobTracker) maybeStartReducePhase(j *Job) {
 	j.pendingReduces = append([]*ReduceTask(nil), j.reduceTasks...)
 }
 
+// traceJobEnd records the job-level spans at termination: the whole
+// job, its map phase, and (when reached) its reduce phase.
+func (jt *JobTracker) traceJobEnd(j *Job, outcome string, mapDone bool) {
+	tr := jt.tracer
+	if !tr.Enabled() {
+		return
+	}
+	now := jt.eng.Now()
+	tr.Record(trace.Span{Name: trace.SpanJob, Cat: trace.CatJob,
+		Start: j.SubmitTime, End: now, Job: j.ID, Task: -1, Attempt: 0, Node: -1, Outcome: outcome})
+	if mapDone {
+		tr.Record(trace.Span{Name: trace.SpanMapPhase, Cat: trace.CatJob,
+			Start: j.SubmitTime, End: j.MapDoneTime, Job: j.ID, Task: -1, Node: -1})
+		tr.Record(trace.Span{Name: trace.SpanReducePhase, Cat: trace.CatJob,
+			Start: j.MapDoneTime, End: now, Job: j.ID, Task: -1, Node: -1})
+	} else {
+		tr.Record(trace.Span{Name: trace.SpanMapPhase, Cat: trace.CatJob,
+			Start: j.SubmitTime, End: now, Job: j.ID, Task: -1, Node: -1})
+	}
+	tr.Inc(trace.CounterJobsFinished, 1)
+}
+
 // completeJob finalises a successful job.
 func (jt *JobTracker) completeJob(j *Job) {
 	j.state = StateSucceeded
 	j.FinishTime = jt.eng.Now()
+	jt.traceJobEnd(j, trace.OutcomeOK, true)
 	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
 	// Deterministic output order: by reduce partition, then emit order
 	// (already appended per-reduce in completion order).

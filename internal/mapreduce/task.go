@@ -6,6 +6,7 @@ import (
 
 	"dynamicmr/internal/data"
 	"dynamicmr/internal/sim"
+	"dynamicmr/internal/trace"
 )
 
 // mapAttempt is one execution of a MapTask on a tracker. A task may
@@ -18,12 +19,34 @@ type mapAttempt struct {
 	loc         dfsLocation
 	speculative bool
 	startTime   float64
+	// seq is the attempt ordinal (task.Attempts at launch); later
+	// launches advance task.Attempts, so trace spans capture it here.
+	seq int
+	// phase/phaseStart track the open trace phase span; phase is ""
+	// when tracing is disabled or no phase is open.
+	phase      string
+	phaseStart float64
 
 	// in-flight stage handles for cancellation
 	timer  *sim.Event
 	res    *sim.SharedResource
 	demand *sim.Demand
 	killed bool
+}
+
+// tracePhase closes the attempt's open phase span, if any, and opens
+// next ("" closes without opening). No-op when tracing is disabled.
+func (jt *JobTracker) tracePhase(att *mapAttempt, next string) {
+	if !jt.tracer.Enabled() {
+		return
+	}
+	now := jt.eng.Now()
+	if att.phase != "" {
+		jt.tracer.Record(trace.Span{Name: att.phase, Cat: trace.CatMap,
+			Start: att.phaseStart, End: now, Job: att.task.Job.ID, Task: att.task.Index,
+			Attempt: att.seq, Node: att.tt.node.ID, Speculative: att.speculative})
+	}
+	att.phase, att.phaseStart = next, now
 }
 
 // dfsLocation mirrors dfs.Location without importing the package here.
@@ -64,6 +87,7 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 		loc:         dfsLocation{Node: loc.Node, Disk: loc.Disk},
 		speculative: speculative,
 		startTime:   jt.eng.Now(),
+		seq:         t.Attempts,
 	}
 	t.running = append(t.running, att)
 
@@ -71,6 +95,19 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 	jt.changeMapSlots(+1)
 	jt.emit(TaskEvent{Type: EventMapStarted, JobID: j.ID, TaskIndex: t.Index,
 		Node: tt.node.ID, Attempt: t.Attempts, Speculative: speculative})
+	if tr := jt.tracer; tr.Enabled() {
+		if speculative {
+			tr.Instant(trace.EventSpeculativeLaunch, trace.CatMap, att.startTime, j.ID, t.Index, tt.node.ID)
+			tr.Inc(trace.CounterMapSpeculative, 1)
+		} else {
+			tr.Record(trace.Span{Name: trace.SpanQueueWait, Cat: trace.CatMap,
+				Start: t.enqueued, End: att.startTime, Job: j.ID, Task: t.Index,
+				Attempt: att.seq, Node: tt.node.ID})
+			tr.Observe(trace.HistMapQueueWait, att.startTime-t.enqueued)
+		}
+		tr.Inc(trace.CounterMapAttempts, 1)
+	}
+	jt.tracePhase(att, trace.SpanStartup)
 
 	bytes := float64(t.Split.SizeBytes())
 	records := t.Split.NumRecords()
@@ -84,6 +121,7 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 		if att.killed {
 			return
 		}
+		jt.tracePhase(att, trace.SpanMapCPU)
 		work := float64(records)*costs.MapCPUPerRecordS + bytes*costs.MapCPUPerByteS
 		att.res = tt.node.CPU
 		att.demand = tt.node.CPU.Submit(work, finish)
@@ -93,6 +131,7 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 		if att.killed {
 			return
 		}
+		jt.tracePhase(att, trace.SpanDiskRead)
 		disk := jt.cluster.Node(att.loc.Node).Disks[att.loc.Disk]
 		if local {
 			att.res = disk
@@ -104,6 +143,7 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 				if att.killed {
 					return
 				}
+				jt.tracePhase(att, trace.SpanNetRead)
 				att.res = jt.cluster.Network
 				att.demand = jt.cluster.Network.Submit(bytes, cpuPhase)
 			})
@@ -129,6 +169,16 @@ func (jt *JobTracker) killAttempt(att *mapAttempt) {
 	att.task.Job.Counters.KilledAttempts++
 	jt.emit(TaskEvent{Type: EventMapKilled, JobID: att.task.Job.ID, TaskIndex: att.task.Index,
 		Node: att.tt.node.ID, Speculative: att.speculative})
+	jt.tracePhase(att, "")
+	if tr := jt.tracer; tr.Enabled() {
+		now := jt.eng.Now()
+		tr.Record(trace.Span{Name: trace.SpanMapAttempt, Cat: trace.CatMap,
+			Start: att.startTime, End: now, Job: att.task.Job.ID, Task: att.task.Index,
+			Attempt: att.seq, Node: att.tt.node.ID, Speculative: att.speculative,
+			Outcome: trace.OutcomeKilled})
+		tr.Instant(trace.EventMapKilled, trace.CatMap, now, att.task.Job.ID, att.task.Index, att.tt.node.ID)
+		tr.Inc(trace.CounterMapKilled, 1)
+	}
 	jt.releaseAttempt(att)
 }
 
@@ -159,12 +209,17 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 	t := att.task
 	j := t.Job
 	tt := att.tt
+	jt.tracePhase(att, "")
 	jt.releaseAttempt(att)
 	att.killed = true // no further stages may run
 
 	if j.Done() || t.completed {
 		// Job failed mid-flight, or a sibling attempt won the race in
 		// the same instant; the slot is already free.
+		jt.tracer.Record(trace.Span{Name: trace.SpanMapAttempt, Cat: trace.CatMap,
+			Start: att.startTime, End: jt.eng.Now(), Job: j.ID, Task: t.Index,
+			Attempt: att.seq, Node: tt.node.ID, Speculative: att.speculative,
+			Outcome: trace.OutcomeLate})
 		jt.assign(tt)
 		return
 	}
@@ -184,6 +239,15 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 		j.Counters.FailedMapAttempts++
 		jt.emit(TaskEvent{Type: EventMapFailed, JobID: j.ID, TaskIndex: t.Index,
 			Node: tt.node.ID, Attempt: t.Attempts, Speculative: att.speculative})
+		if tr := jt.tracer; tr.Enabled() {
+			now := jt.eng.Now()
+			tr.Record(trace.Span{Name: trace.SpanMapAttempt, Cat: trace.CatMap,
+				Start: att.startTime, End: now, Job: j.ID, Task: t.Index,
+				Attempt: att.seq, Node: tt.node.ID, Speculative: att.speculative,
+				Outcome: trace.OutcomeFailed})
+			tr.Instant(trace.EventMapFailed, trace.CatMap, now, j.ID, t.Index, tt.node.ID)
+			tr.Inc(trace.CounterMapFailed, 1)
+		}
 		switch {
 		case t.Attempts >= jt.cfg.MaxTaskAttempts:
 			jt.failJob(j, fmt.Sprintf("map task %d failed %d times: %v", t.Index, t.Attempts, err))
@@ -192,6 +256,7 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 			// finish the task instead of requeueing.
 		default:
 			// Requeue for re-execution elsewhere.
+			t.enqueued = jt.eng.Now()
 			j.pendingMaps = append(j.pendingMaps, t)
 		}
 		jt.assign(tt)
@@ -238,6 +303,19 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 
 	jt.emit(TaskEvent{Type: EventMapFinished, JobID: j.ID, TaskIndex: t.Index,
 		Node: tt.node.ID, Attempt: t.Attempts, Speculative: att.speculative})
+	if tr := jt.tracer; tr.Enabled() {
+		now := jt.eng.Now()
+		tr.Record(trace.Span{Name: trace.SpanMapAttempt, Cat: trace.CatMap,
+			Start: att.startTime, End: now, Job: j.ID, Task: t.Index,
+			Attempt: att.seq, Node: tt.node.ID, Speculative: att.speculative,
+			Outcome: trace.OutcomeOK})
+		tr.Observe(trace.HistMapDuration, now-att.startTime)
+		if att.local {
+			tr.Inc(trace.CounterMapLocal, 1)
+		} else {
+			tr.Inc(trace.CounterMapNonLocal, 1)
+		}
+	}
 	jt.maybeStartReducePhase(j)
 	// Out-of-band scheduling opportunity: the freed slot can be reused
 	// without waiting for the next periodic heartbeat.
@@ -342,10 +420,38 @@ func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
 	}
 	costs := jt.cfg.Costs
 
-	finish := func() { jt.finishReduce(tt, t) }
+	// Phase spans: mark(name) closes the interval elapsed since the
+	// previous mark under that name, walking startup → shuffle → sort →
+	// reduce CPU → output write as each stage's continuation fires.
+	tr := jt.tracer
+	attStart := jt.eng.Now()
+	attNo := t.Attempts
+	phaseT := attStart
+	mark := func(name string) {
+		if !tr.Enabled() {
+			return
+		}
+		now := jt.eng.Now()
+		tr.Record(trace.Span{Name: name, Cat: trace.CatReduce, Start: phaseT, End: now,
+			Job: j.ID, Task: t.Index, Attempt: attNo, Node: tt.node.ID})
+		phaseT = now
+	}
+
+	finish := func() {
+		mark(trace.SpanOutputWrite)
+		if tr.Enabled() {
+			now := jt.eng.Now()
+			tr.Record(trace.Span{Name: trace.SpanReduceAttempt, Cat: trace.CatReduce,
+				Start: attStart, End: now, Job: j.ID, Task: t.Index, Attempt: attNo,
+				Node: tt.node.ID, Outcome: trace.OutcomeOK})
+			tr.Observe(trace.HistReduceDuration, now-attStart)
+		}
+		jt.finishReduce(tt, t)
+	}
 
 	writeOutput := func(outBytes int64) func() {
 		return func() {
+			mark(trace.SpanReduceCPU)
 			// Output written to one of the node's disks (round-robin by
 			// task index).
 			disk := tt.node.Disks[t.Index%len(tt.node.Disks)]
@@ -353,8 +459,12 @@ func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
 		}
 	}
 	runReducer := func() {
+		mark(trace.SpanSort)
 		out, err := jt.execReducer(t, chunks)
 		if err != nil {
+			tr.Record(trace.Span{Name: trace.SpanReduceAttempt, Cat: trace.CatReduce,
+				Start: attStart, End: jt.eng.Now(), Job: j.ID, Task: t.Index, Attempt: attNo,
+				Node: tt.node.ID, Outcome: trace.OutcomeFailed})
 			jt.failJob(j, fmt.Sprintf("reduce task %d failed: %v", t.Index, err))
 			tt.reduceUsed--
 			jt.occupiedReduceSlots--
@@ -371,10 +481,12 @@ func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
 		tt.node.CPU.Submit(work, writeOutput(out.Bytes()))
 	}
 	sortPhase := func() {
+		mark(trace.SpanShuffle)
 		work := float64(totalPairs) * costs.SortCPUPerRecordS
 		tt.node.CPU.Submit(work, runReducer)
 	}
 	shufflePhase := func() {
+		mark(trace.SpanStartup)
 		j.Counters.ShuffleBytes += shuffleBytes
 		jt.cluster.Network.Submit(float64(shuffleBytes), sortPhase)
 	}

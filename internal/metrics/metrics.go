@@ -3,12 +3,18 @@
 // and disk reads (Kbs/sec) at 30 second intervals on each node",
 // averaged over the cluster's cores and disks, plus §V-F's locality and
 // slot-occupancy measures.
+//
+// The Sampler is a consumer of the internal/trace event stream: when
+// the runtime was built with tracing enabled it subscribes to the
+// tracer's telemetry samples instead of polling the integrals itself,
+// so the two observers can never disagree. Without tracing it runs its
+// own poll loop on the same mapreduce.UtilizationCursor arithmetic.
 package metrics
 
 import (
-	"dynamicmr/internal/cluster"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/sim"
+	"dynamicmr/internal/trace"
 )
 
 // Sample is one interval's averaged readings.
@@ -25,73 +31,96 @@ type Sample struct {
 	SlotOccupancyPct float64
 }
 
-// Sampler polls the cluster at a fixed virtual interval.
+// Sampler polls the cluster at a fixed virtual interval, or — when the
+// runtime has tracing enabled — records the tracer's telemetry stream.
 type Sampler struct {
 	eng      *sim.Engine
-	cl       *cluster.Cluster
 	jt       *mapreduce.JobTracker
 	interval float64
 
 	samples []Sample
 
-	lastT    float64
-	lastCPU  float64
-	lastDisk float64
-	lastSlot float64
+	cursor *mapreduce.UtilizationCursor
 
-	stopped bool
+	// gen invalidates stale poll loops: each Start bumps it, and a tick
+	// scheduled by an earlier generation returns without rescheduling.
+	gen        int
+	running    bool
+	stopped    bool
+	subscribed bool
 }
 
 // NewSampler creates a sampler with the paper's 30 s interval when
-// intervalS <= 0.
+// intervalS <= 0. The interval only applies to the standalone poll
+// loop; with tracing enabled the tracer's sample interval governs.
 func NewSampler(jt *mapreduce.JobTracker, intervalS float64) *Sampler {
 	if intervalS <= 0 {
 		intervalS = 30
 	}
 	return &Sampler{
 		eng:      jt.Engine(),
-		cl:       jt.Cluster(),
 		jt:       jt,
 		interval: intervalS,
 	}
 }
 
 // Start begins sampling; the first sample lands one interval from now.
+// Start is idempotent while running — a second call does not spawn a
+// second poll loop. After Stop, Start resumes with a fresh baseline.
 func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
 	s.stopped = false
-	s.lastT = s.eng.Now()
-	s.lastCPU = s.cl.CPUUsedIntegral()
-	s.lastDisk = s.cl.DiskUsedIntegral()
-	s.lastSlot = s.jt.MapSlotOccupancyIntegral()
-	s.eng.After(s.interval, s.tick)
+	if tr := s.jt.Tracer(); tr.Enabled() {
+		// Event-stream mode: the tracer's telemetry poll is the single
+		// source; subscribe once and filter while stopped.
+		if !s.subscribed {
+			s.subscribed = true
+			tr.OnMetricSample(func(m trace.MetricSample) {
+				if s.stopped {
+					return
+				}
+				s.samples = append(s.samples, Sample(m))
+			})
+		}
+		return
+	}
+	s.cursor = s.jt.NewUtilizationCursor()
+	s.gen++
+	gen := s.gen
+	s.eng.After(s.interval, func() { s.tick(gen) })
 }
 
-// Stop halts sampling after the current interval.
-func (s *Sampler) Stop() { s.stopped = true }
+// Stop halts sampling. Any poll callback already queued on the engine
+// becomes a no-op, so Stop/Start cycles never stack loops.
+func (s *Sampler) Stop() {
+	s.stopped = true
+	s.running = false
+}
 
 // Samples returns everything collected so far.
 func (s *Sampler) Samples() []Sample { return s.samples }
 
-func (s *Sampler) tick() {
-	if s.stopped {
+// Timeline returns the collected samples as the trace package's sample
+// type, ready for trace.WriteMetricCSV.
+func (s *Sampler) Timeline() []trace.MetricSample {
+	out := make([]trace.MetricSample, len(s.samples))
+	for i, sm := range s.samples {
+		out[i] = trace.MetricSample(sm)
+	}
+	return out
+}
+
+func (s *Sampler) tick(gen int) {
+	if s.stopped || gen != s.gen {
 		return
 	}
-	now := s.eng.Now()
-	dt := now - s.lastT
-	cpu := s.cl.CPUUsedIntegral()
-	disk := s.cl.DiskUsedIntegral()
-	slot := s.jt.MapSlotOccupancyIntegral()
-	if dt > 0 {
-		totalSlots := float64(s.cl.Cfg.TotalMapSlots())
-		s.samples = append(s.samples, Sample{
-			Time:             now,
-			CPUUtilPct:       100 * (cpu - s.lastCPU) / (s.cl.CPUCapacity() * dt),
-			DiskReadKBs:      (disk - s.lastDisk) / dt / float64(s.cl.Cfg.TotalDisks()) / 1024,
-			SlotOccupancyPct: 100 * (slot - s.lastSlot) / (totalSlots * dt),
-		})
+	if p, ok := s.cursor.Advance(); ok {
+		s.samples = append(s.samples, Sample(p))
 	}
-	s.lastT, s.lastCPU, s.lastDisk, s.lastSlot = now, cpu, disk, slot
-	s.eng.After(s.interval, s.tick)
+	s.eng.After(s.interval, func() { s.tick(gen) })
 }
 
 // Averages aggregates samples taken at or after fromT (to exclude

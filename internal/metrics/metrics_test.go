@@ -9,6 +9,7 @@ import (
 	"dynamicmr/internal/dfs"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/sim"
+	"dynamicmr/internal/trace"
 )
 
 func rig(t *testing.T) (*sim.Engine, *cluster.Cluster, *dfs.DFS, *mapreduce.JobTracker) {
@@ -137,5 +138,157 @@ func TestLocalityPct(t *testing.T) {
 	mapreduce.RunUntilDone(eng, job, 1e6)
 	if got := LocalityPct(jt); got < 50 || got > 100 {
 		t.Fatalf("locality = %v%%", got)
+	}
+}
+
+// submitScanJob runs a trivial scan over a fresh file, for load.
+func submitScanJob(t *testing.T, fs *dfs.DFS, jt *mapreduce.JobTracker, name string, blocks, recs int) *mapreduce.Job {
+	t.Helper()
+	f := mkFile(t, fs, name, blocks, recs)
+	return jt.Submit(mapreduce.JobSpec{
+		NewMapper: func(*mapreduce.JobConf) mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(data.Record, *mapreduce.Collector) error { return nil })
+		},
+	}, mapreduce.SplitsForFile(f))
+}
+
+func TestSamplerStartIdempotent(t *testing.T) {
+	eng, _, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	s.Start()
+	s.Start() // must not spawn a second poll loop
+	eng.RunUntil(35)
+	if got := len(s.Samples()); got != 3 {
+		t.Fatalf("samples after double Start = %d, want 3 (one loop)", got)
+	}
+}
+
+// TestSamplerStopStartNoDanglingLoop is the regression test for the
+// Stop/Start re-entry bug: a stopped sampler's queued tick must not
+// keep rescheduling, and a restart must run exactly one loop.
+func TestSamplerStopStartNoDanglingLoop(t *testing.T) {
+	eng, _, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	s.Start()
+	eng.RunUntil(25) // samples at 10, 20
+	if got := len(s.Samples()); got != 2 {
+		t.Fatalf("samples before Stop = %d", got)
+	}
+	s.Stop()
+	eng.RunUntil(50) // the tick queued for t=30 must not fire or reschedule
+	if got := len(s.Samples()); got != 2 {
+		t.Fatalf("samples grew after Stop: %d", got)
+	}
+	s.Start()
+	eng.RunUntil(85) // restarted loop: samples at 60, 70, 80 — once each
+	if got := len(s.Samples()); got != 5 {
+		t.Fatalf("samples after restart = %d, want 5 (no doubled loop)", got)
+	}
+	for i, sm := range s.Samples()[2:] {
+		if want := 60 + 10*float64(i); math.Abs(sm.Time-want) > 1e-9 {
+			t.Fatalf("restarted sample %d at t=%v, want %v", i, sm.Time, want)
+		}
+	}
+}
+
+func TestAveragesZeroSamples(t *testing.T) {
+	_, _, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	cpu, disk, occ := s.Averages(0)
+	if cpu != 0 || disk != 0 || occ != 0 {
+		t.Fatalf("averages with no samples = %v, %v, %v", cpu, disk, occ)
+	}
+}
+
+// TestAveragesWarmupBoundary places fromT strictly between two sample
+// times: the earlier sample must be excluded, the later included.
+func TestAveragesWarmupBoundary(t *testing.T) {
+	eng, cl, _, jt := rig(t)
+	s := NewSampler(jt, 10)
+	s.Start()
+	// Load only within the first interval: one core busy t=0..10.
+	cl.Node(0).CPU.Submit(10, nil)
+	eng.RunUntil(25) // samples at 10 (loaded) and 20 (idle)
+	if got := len(s.Samples()); got != 2 {
+		t.Fatalf("samples = %d", got)
+	}
+	full, _, _ := s.Averages(0)
+	if full <= 0 {
+		t.Fatalf("full-window cpu = %v", full)
+	}
+	mid, _, _ := s.Averages(15) // strictly between 10 and 20
+	if mid != 0 {
+		t.Fatalf("cpu from t=15 = %v, want 0 (only the idle sample remains)", mid)
+	}
+	atSecond, _, _ := s.Averages(20) // inclusive at the sample time
+	if atSecond != 0 {
+		t.Fatalf("cpu from t=20 = %v, want 0", atSecond)
+	}
+}
+
+func TestSamplerConcurrentJobs(t *testing.T) {
+	eng, _, fs, jt := rig(t)
+	j1 := submitScanJob(t, fs, jt, "in1", 40, 2000)
+	j2 := submitScanJob(t, fs, jt, "in2", 40, 2000)
+	s := NewSampler(jt, 5)
+	s.Start()
+	mapreduce.RunUntilDone(eng, j1, 1e6)
+	mapreduce.RunUntilDone(eng, j2, 1e6)
+	cpu, disk, occ := s.Averages(0)
+	if cpu <= 0 || disk <= 0 || occ <= 0 {
+		t.Fatalf("concurrent-job averages = %v, %v, %v", cpu, disk, occ)
+	}
+	if cpu > 100+1e-6 || occ > 100+1e-6 {
+		t.Fatalf("percentages out of range under concurrency: cpu=%v occ=%v", cpu, occ)
+	}
+	for i := 1; i < len(s.Samples()); i++ {
+		if s.Samples()[i].Time <= s.Samples()[i-1].Time {
+			t.Fatalf("samples out of order at %d: %+v", i, s.Samples())
+		}
+	}
+}
+
+// TestSamplerConsumesTraceStream checks the event-stream mode: with
+// tracing enabled the sampler subscribes to the tracer's telemetry
+// instead of running its own loop, and sees identical samples.
+func TestSamplerConsumesTraceStream(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	fs := dfs.New(cl)
+	cfg := mapreduce.DefaultConfig()
+	cfg.Trace = trace.Config{Enabled: true, SampleIntervalS: 1}
+	jt := mapreduce.NewJobTracker(cl, cfg, nil)
+
+	s := NewSampler(jt, 30) // interval ignored in trace mode
+	s.Start()
+	job := submitScanJob(t, fs, jt, "in", 40, 2000)
+	mapreduce.RunUntilDone(eng, job, 1e6)
+
+	stream := jt.Tracer().MetricSamples()
+	if len(stream) == 0 {
+		t.Fatal("tracer collected no telemetry")
+	}
+	if got := len(s.Samples()); got != len(stream) {
+		t.Fatalf("sampler has %d samples, tracer stream has %d", got, len(stream))
+	}
+	for i, sm := range s.Samples() {
+		if sm != (Sample(stream[i])) {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, sm, stream[i])
+		}
+	}
+	cpu, _, occ := s.Averages(0)
+	if cpu <= 0 || occ <= 0 {
+		t.Fatalf("trace-mode averages = %v, %v", cpu, occ)
+	}
+
+	// Stop halts the sampler while the tracer keeps collecting.
+	s.Stop()
+	n := len(s.Samples())
+	eng.RunUntil(eng.Now() + 50)
+	if len(s.Samples()) != n {
+		t.Fatal("stopped sampler kept consuming the stream")
+	}
+	if len(jt.Tracer().MetricSamples()) <= len(stream) {
+		t.Fatal("tracer telemetry stopped with the sampler")
 	}
 }

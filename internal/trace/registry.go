@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// Well-known registry metric names emitted by the runtime. The
+// registry is open — any name may be used — but these are the ones the
+// instrumentation produces and tests assert on.
+const (
+	CounterHeartbeats     = "heartbeats"
+	CounterJobsSubmitted  = "jobs.submitted"
+	CounterJobsFinished   = "jobs.finished"
+	CounterMapAttempts    = "map.attempts"
+	CounterMapFailed      = "map.failed"
+	CounterMapKilled      = "map.killed"
+	CounterMapSpeculative = "map.speculative"
+	CounterMapLocal       = "map.local"
+	CounterMapNonLocal    = "map.nonlocal"
+	CounterPolicyEvals    = "policy.evaluations"
+
+	HistMapDuration    = "map.duration_s"
+	HistMapQueueWait   = "map.queue_wait_s"
+	HistReduceDuration = "reduce.duration_s"
+)
+
+// HistogramSnapshot summarises one histogram's observations.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// registry is the counter/histogram store behind a Tracer. It has no
+// lock of its own: the Tracer's mutex guards it.
+type registry struct {
+	counters map[string]int64
+	hists    map[string]*HistogramSnapshot
+}
+
+func newRegistry() registry {
+	return registry{
+		counters: make(map[string]int64),
+		hists:    make(map[string]*HistogramSnapshot),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (t *Tracer) Inc(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg.counters[name] += delta
+}
+
+// Counter returns the named counter's value (0 when never incremented).
+func (t *Tracer) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reg.counters[name]
+}
+
+// Counters returns a copy of every counter.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.reg.counters))
+	for k, v := range t.reg.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Observe folds a value into the named histogram.
+func (t *Tracer) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.reg.hists[name]
+	if h == nil {
+		h = &HistogramSnapshot{Min: math.Inf(1), Max: math.Inf(-1)}
+		t.reg.hists[name] = h
+	}
+	h.Count++
+	h.Sum += v
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Histogram returns the named histogram's snapshot and whether any
+// value was ever observed.
+func (t *Tracer) Histogram(name string) (HistogramSnapshot, bool) {
+	if t == nil {
+		return HistogramSnapshot{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.reg.hists[name]
+	if h == nil {
+		return HistogramSnapshot{}, false
+	}
+	return *h, true
+}
+
+// MetricNames returns every registered counter and histogram name,
+// sorted, for diagnostics dumps.
+func (t *Tracer) MetricNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.reg.counters)+len(t.reg.hists))
+	for k := range t.reg.counters {
+		names = append(names, k)
+	}
+	for k := range t.reg.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

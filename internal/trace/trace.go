@@ -1,0 +1,293 @@
+// Package trace is the virtual-clock-aware observability layer: a
+// typed span/event recorder buffered in a fixed-capacity ring, an
+// append-only audit log of Input Provider policy decisions, a periodic
+// utilization timeline, and a counter/histogram registry — with
+// exporters for Chrome trace-event JSON (Perfetto / chrome://tracing)
+// and CSV timelines.
+//
+// The package is deliberately leaf-level: it knows nothing about the
+// runtime that feeds it, so internal/sim, internal/mapreduce,
+// internal/core, internal/metrics and internal/experiments can all
+// depend on it without cycles. All timestamps are virtual seconds as
+// reported by the discrete-event engine.
+//
+// Every method is safe on a nil *Tracer and does nothing, so
+// instrumentation sites call unconditionally; a disabled run costs one
+// nil check per site.
+package trace
+
+import "sync"
+
+// Default sizing for Config zero values.
+const (
+	// DefaultCapacity is the span ring capacity (oldest spans are
+	// evicted beyond it; see Tracer.Dropped).
+	DefaultCapacity = 1 << 16
+	// DefaultSampleIntervalS is the utilization poll period, the
+	// paper's §V-D 30-second monitoring interval.
+	DefaultSampleIntervalS = 30.0
+)
+
+// Config tunes the tracing subsystem. It is embedded in
+// mapreduce.Config as the single switch for the whole layer.
+type Config struct {
+	// Enabled turns tracing on; when false no Tracer is constructed
+	// and every instrumentation site reduces to a nil check.
+	Enabled bool
+	// Capacity bounds the span ring (default DefaultCapacity). The
+	// policy audit log and the metric timeline are not ring-bounded:
+	// they are the ground truth experiments re-read, and they grow by
+	// one entry per evaluation / poll interval, not per task.
+	Capacity int
+	// SampleIntervalS is the utilization poll period in virtual
+	// seconds (default DefaultSampleIntervalS).
+	SampleIntervalS float64
+}
+
+func (c Config) capacity() int {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return DefaultCapacity
+}
+
+// SampleInterval returns the effective utilization poll period.
+func (c Config) SampleInterval() float64 {
+	if c.SampleIntervalS > 0 {
+		return c.SampleIntervalS
+	}
+	return DefaultSampleIntervalS
+}
+
+// Span names emitted by the runtime. A map attempt's timeline is
+// queue-wait → startup → disk-read [→ net-read] → cpu, enclosed in a
+// map-attempt span; a reduce attempt's is startup → shuffle → sort →
+// reduce → output-write, enclosed in a reduce-attempt span.
+const (
+	SpanMapAttempt    = "map-attempt"
+	SpanQueueWait     = "queue-wait"
+	SpanStartup       = "startup"
+	SpanDiskRead      = "disk-read"
+	SpanNetRead       = "net-read"
+	SpanMapCPU        = "cpu"
+	SpanReduceAttempt = "reduce-attempt"
+	SpanShuffle       = "shuffle"
+	SpanSort          = "sort"
+	SpanReduceCPU     = "reduce"
+	SpanOutputWrite   = "output-write"
+	SpanJob           = "job"
+	SpanMapPhase      = "map-phase"
+	SpanReducePhase   = "reduce-phase"
+
+	// Instant events.
+	EventHeartbeat         = "heartbeat"
+	EventJobSubmitted      = "job-submitted"
+	EventSpeculativeLaunch = "speculative-launch"
+	EventMapKilled         = "map-killed"
+	EventMapFailed         = "map-failed"
+	EventPolicySwitch      = "policy-switch"
+)
+
+// Span categories (Chrome trace "cat" field).
+const (
+	CatMap    = "map"
+	CatReduce = "reduce"
+	CatJob    = "job"
+	CatNode   = "node"
+	CatPolicy = "policy"
+)
+
+// Attempt outcomes recorded on enclosing map-attempt/reduce-attempt
+// spans.
+const (
+	OutcomeOK     = "ok"
+	OutcomeFailed = "failed"
+	OutcomeKilled = "killed"
+	// OutcomeLate marks an attempt whose work finished after a sibling
+	// already completed the task (or the job died) in the same instant;
+	// its result is discarded and it appears in no JobTracker counter.
+	OutcomeLate = "late"
+)
+
+// Span is one typed interval (or, when End == Start, one instant
+// event) on the virtual timeline, keyed by job/task/attempt/node.
+// Fields that do not apply hold -1 (ids) or 0 (attempt).
+type Span struct {
+	// Name is one of the Span*/Event* constants (or a caller-defined
+	// name for external producers).
+	Name string
+	// Cat is the Chrome trace category (Cat* constants).
+	Cat string
+	// Start and End bound the span in virtual seconds; End == Start
+	// marks an instant event.
+	Start, End float64
+	// Job, Task, Attempt, Node key the span to the runtime entity.
+	Job, Task, Attempt, Node int
+	// Speculative marks backup attempts.
+	Speculative bool
+	// Outcome is set on enclosing attempt spans (Outcome* constants).
+	Outcome string
+}
+
+// Instant reports whether the span is a zero-duration event.
+func (s Span) Instant() bool { return s.End == s.Start }
+
+// Duration returns End - Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// MetricSample is one interval-averaged utilization reading, the
+// trace-layer form of the paper's 30-second monitoring rows.
+type MetricSample struct {
+	// Time is the interval's end (virtual seconds).
+	Time float64
+	// CPUUtilPct is mean CPU utilisation over the interval, in percent
+	// of total core capacity.
+	CPUUtilPct float64
+	// DiskReadKBs is the mean per-disk transfer rate over the interval
+	// in KB/s.
+	DiskReadKBs float64
+	// SlotOccupancyPct is the mean fraction of map slots occupied.
+	SlotOccupancyPct float64
+}
+
+// Tracer records spans, policy decisions, metric samples, counters and
+// histograms. A nil Tracer is the disabled state: every method is a
+// no-op and Enabled reports false.
+//
+// The simulation engine is single-threaded, but experiments run many
+// engines concurrently and exporters may be called from test
+// goroutines, so the Tracer locks internally.
+type Tracer struct {
+	mu sync.Mutex
+
+	cfg     Config
+	spans   []Span // ring storage, capacity cfg.capacity()
+	head    int    // next write position
+	n       int    // occupied entries (<= cap)
+	dropped int64
+
+	decisions  []PolicyDecision
+	samples    []MetricSample
+	sampleSubs []func(MetricSample)
+
+	reg registry
+}
+
+// New returns a Tracer for the configuration, or nil (the disabled
+// tracer) when cfg.Enabled is false.
+func New(cfg Config) *Tracer {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &Tracer{cfg: cfg, reg: newRegistry()}
+}
+
+// Enabled reports whether the tracer records anything. It is the
+// guard instrumentation sites use before assembling expensive args.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Config returns the tracer's configuration (zero value when nil).
+func (t *Tracer) Config() Config {
+	if t == nil {
+		return Config{}
+	}
+	return t.cfg
+}
+
+// Record appends a span to the ring, evicting the oldest when full.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	capacity := t.cfg.capacity()
+	if len(t.spans) < capacity {
+		t.spans = append(t.spans, s)
+		t.head = len(t.spans) % capacity
+		t.n = len(t.spans)
+		return
+	}
+	t.spans[t.head] = s
+	t.head = (t.head + 1) % capacity
+	t.dropped++
+}
+
+// Instant records a zero-duration event.
+func (t *Tracer) Instant(name, cat string, ts float64, job, task, node int) {
+	t.Record(Span{Name: name, Cat: cat, Start: ts, End: ts, Job: job, Task: task, Node: node})
+}
+
+// Spans returns the buffered spans oldest-first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	if t.n < len(t.spans) || t.n < t.cfg.capacity() {
+		out = append(out, t.spans[:t.n]...)
+		return out
+	}
+	out = append(out, t.spans[t.head:]...)
+	out = append(out, t.spans[:t.head]...)
+	return out
+}
+
+// CountSpans returns how many buffered spans carry the name.
+func (t *Tracer) CountSpans(name string) int {
+	n := 0
+	for _, s := range t.Spans() {
+		if s.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped returns how many spans were evicted from the full ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// RecordMetricSample appends a utilization reading to the timeline and
+// fans it out to subscribers (e.g. metrics.Sampler).
+func (t *Tracer) RecordMetricSample(m MetricSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.samples = append(t.samples, m)
+	subs := t.sampleSubs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(m)
+	}
+}
+
+// MetricSamples returns the utilization timeline collected so far.
+func (t *Tracer) MetricSamples() []MetricSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]MetricSample(nil), t.samples...)
+}
+
+// OnMetricSample subscribes to future utilization readings. Callbacks
+// run synchronously on the engine goroutine that polled the sample.
+func (t *Tracer) OnMetricSample(fn func(MetricSample)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sampleSubs = append(t.sampleSubs, fn)
+}
