@@ -6,7 +6,20 @@
 // Usage:
 //
 //	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
-//	            [-mode quick|paper] [-csv] [-trace-out DIR]
+//	            [-mode quick|paper] [-j N] [-policies LIST] [-csv]
+//	            [-trace-out DIR] [-bench-json FILE]
+//
+// -j runs up to N sweep cells concurrently (default runtime.NumCPU).
+// Parallelism is across cells only: each cell owns a private simulated
+// cluster whose virtual time never observes the pool, and results are
+// assembled in enumeration order, so output is byte-identical to -j 1.
+//
+// -policies restricts the sweeps to a comma-separated subset of
+// Table I's policies (e.g. -policies LA,Hadoop); CI's smoke job uses
+// it to run a single figure-6 cell quickly.
+//
+// -bench-json writes per-artifact wall-clock timings as JSON to FILE
+// (the BENCH_results.json perf trajectory).
 //
 // With -trace-out, each multi-user workload cell (figures 6-8) writes
 // its 30-second utilization timeline as a CSV file into DIR (created
@@ -19,9 +32,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,6 +48,9 @@ func main() {
 	mode := flag.String("mode", "quick", "quick (scaled-down, minutes) or paper (full §V parameters)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace-out", "", "directory for per-cell utilization timeline CSVs (figures 6-8)")
+	jobs := flag.Int("j", runtime.NumCPU(), "sweep cells to run concurrently (1 = sequential; output is identical either way)")
+	policies := flag.String("policies", "", "comma-separated subset of Table I policies to sweep (default: all)")
+	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
 	flag.Parse()
 
 	var opt experiments.Options
@@ -51,6 +69,10 @@ func main() {
 			os.Exit(1)
 		}
 		opt.TraceDir = *traceOut
+	}
+	opt.Parallelism = *jobs
+	if *policies != "" {
+		opt.Policies = strings.Split(*policies, ",")
 	}
 
 	targets := strings.Split(strings.ToLower(*run), ",")
@@ -76,6 +98,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 		os.Exit(1)
 	}
+	type artifactTiming struct {
+		Name    string  `json:"name"`
+		Seconds float64 `json:"seconds"`
+	}
+	var timings []artifactTiming
+	suiteStart := time.Now()
 	timed := func(name string, f func() error) {
 		if !want(name) {
 			return
@@ -84,7 +112,9 @@ func main() {
 		if err := f(); err != nil {
 			fail(name, err)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		timings = append(timings, artifactTiming{Name: name, Seconds: elapsed.Seconds()})
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	timed("tableI", func() error { emit(experiments.TableI()); return nil })
@@ -155,5 +185,31 @@ func main() {
 			emit(t)
 			return nil
 		})
+	}
+
+	if *benchJSON != "" {
+		report := struct {
+			Mode         string           `json:"mode"`
+			Parallelism  int              `json:"parallelism"`
+			GOMAXPROCS   int              `json:"gomaxprocs"`
+			Policies     []string         `json:"policies"`
+			Artifacts    []artifactTiming `json:"artifacts"`
+			TotalSeconds float64          `json:"total_seconds"`
+		}{
+			Mode:         *mode,
+			Parallelism:  *jobs,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Policies:     opt.Policies,
+			Artifacts:    timings,
+			TotalSeconds: time.Since(suiteStart).Seconds(),
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fail("bench-json", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			fail("bench-json", err)
+		}
+		fmt.Fprintf(os.Stderr, "[benchmark timings written to %s]\n", *benchJSON)
 	}
 }

@@ -20,14 +20,14 @@ import (
 // singleUserRun executes one dynamic sampling job on a fresh idle
 // cluster under the given policy and provider wrapping, returning the
 // finished job and its client.
-func (o Options) singleUserRun(cache *dsCache, z float64, pol *core.Policy,
+func (o Options) singleUserRun(cache *dsCache, memo *mapreduce.MapOutputCache, z float64, pol *core.Policy,
 	wrap func(core.InputProvider) core.InputProvider, seed int64) (*core.JobClient, error) {
 	scale := o.Scales[len(o.Scales)-1]
 	ds, err := cache.get(o.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
 	if err != nil {
 		return nil, err
 	}
-	r := newRig(nil, false)
+	r := newRig(nil, false, memo)
 	f, err := r.load(ds, ds.Name())
 	if err != nil {
 		return nil, err
@@ -65,6 +65,7 @@ func AblationInterval(opt Options) (*Table, error) {
 		return nil, err
 	}
 	cache := newDSCache()
+	memo := mapreduce.NewMapOutputCache()
 	base, err := core.DefaultRegistry().Get(core.PolicyLA)
 	if err != nil {
 		return nil, err
@@ -76,19 +77,28 @@ func AblationInterval(opt Options) (*Table, error) {
 			"§III-B: short intervals re-evaluate needlessly; long intervals leave the job waiting after its input drains",
 		},
 	}
-	for _, interval := range []float64{1, 2, 4, 8, 16, 32} {
+	intervals := []float64{1, 2, 4, 8, 16, 32}
+	clients := make([]*core.JobClient, len(intervals))
+	err = runCells(opt.parallelism(), len(intervals), func(i int) error {
 		pol := &core.Policy{
-			Name:                fmt.Sprintf("LA-%gs", interval),
-			EvaluationIntervalS: interval,
+			Name:                fmt.Sprintf("LA-%gs", intervals[i]),
+			EvaluationIntervalS: intervals[i],
 			WorkThresholdPct:    base.WorkThresholdPct,
 			GrabLimitExpr:       base.GrabLimitExpr,
 		}
-		client, err := opt.singleUserRun(cache, 1, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(cache, memo, 1, pol, nil, opt.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		clients[i] = client
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, client := range clients {
 		j := client.Job()
-		t.AddRow(interval, j.ResponseTime(), client.Evaluations(), j.CompletedMaps())
+		t.AddRow(intervals[i], j.ResponseTime(), client.Evaluations(), j.CompletedMaps())
 	}
 	return t, nil
 }
@@ -100,6 +110,7 @@ func AblationThreshold(opt Options) (*Table, error) {
 		return nil, err
 	}
 	cache := newDSCache()
+	memo := mapreduce.NewMapOutputCache()
 	t := &Table{
 		Title:   "Ablation: work threshold (LA grab limit, 4s interval, single user, moderate skew)",
 		Columns: []string{"Threshold (%)", "Response (s)", "Evaluations", "Partitions"},
@@ -107,19 +118,28 @@ func AblationThreshold(opt Options) (*Table, error) {
 			"higher thresholds suppress provider consultations; the idle-liveness override keeps the job from stalling outright",
 		},
 	}
-	for _, thr := range []float64{0, 5, 10, 15, 25, 50} {
+	thresholds := []float64{0, 5, 10, 15, 25, 50}
+	clients := make([]*core.JobClient, len(thresholds))
+	err := runCells(opt.parallelism(), len(thresholds), func(i int) error {
 		pol := &core.Policy{
-			Name:                fmt.Sprintf("LA-t%g", thr),
+			Name:                fmt.Sprintf("LA-t%g", thresholds[i]),
 			EvaluationIntervalS: 4,
-			WorkThresholdPct:    thr,
+			WorkThresholdPct:    thresholds[i],
 			GrabLimitExpr:       "AS > 0 ? 0.2*AS : 0.1*TS",
 		}
-		client, err := opt.singleUserRun(cache, 1, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(cache, memo, 1, pol, nil, opt.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		clients[i] = client
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, client := range clients {
 		j := client.Job()
-		t.AddRow(thr, j.ResponseTime(), client.Evaluations(), j.CompletedMaps())
+		t.AddRow(thresholds[i], j.ResponseTime(), client.Evaluations(), j.CompletedMaps())
 	}
 	return t, nil
 }
@@ -133,6 +153,7 @@ func AblationGrabScale(opt Options) (*Table, error) {
 		return nil, err
 	}
 	cache := newDSCache()
+	memo := mapreduce.NewMapOutputCache()
 	t := &Table{
 		Title:   "Ablation: grab-limit scale f (limit = f*AS, single user, high skew)",
 		Columns: []string{"f", "Response (s)", "Partitions", "Records read (M)"},
@@ -140,19 +161,28 @@ func AblationGrabScale(opt Options) (*Table, error) {
 			"small f reads least but pays rounds; large f overcomes skew by covering more partitions per step (§V-C)",
 		},
 	}
-	for _, f := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+	scales := []float64{0.05, 0.1, 0.2, 0.5, 1.0}
+	clients := make([]*core.JobClient, len(scales))
+	err := runCells(opt.parallelism(), len(scales), func(i int) error {
 		pol := &core.Policy{
-			Name:                fmt.Sprintf("f=%g", f),
+			Name:                fmt.Sprintf("f=%g", scales[i]),
 			EvaluationIntervalS: 4,
 			WorkThresholdPct:    0,
-			GrabLimitExpr:       fmt.Sprintf("%g*AS", f),
+			GrabLimitExpr:       fmt.Sprintf("%g*AS", scales[i]),
 		}
-		client, err := opt.singleUserRun(cache, 2, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(cache, memo, 2, pol, nil, opt.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		clients[i] = client
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, client := range clients {
 		j := client.Job()
-		t.AddRow(f, j.ResponseTime(), j.CompletedMaps(), float64(j.Counters.MapInputRecords)/1e6)
+		t.AddRow(scales[i], j.ResponseTime(), j.CompletedMaps(), float64(j.Counters.MapInputRecords)/1e6)
 	}
 	return t, nil
 }
@@ -167,6 +197,7 @@ func AblationAdaptive(opt Options) (*Table, error) {
 		return nil, err
 	}
 	cache := newDSCache()
+	memo := mapreduce.NewMapOutputCache()
 	reg := core.DefaultRegistry()
 
 	t := &Table{
@@ -183,35 +214,48 @@ func AblationAdaptive(opt Options) (*Table, error) {
 	}
 	rows := []row{{"C", core.PolicyC}, {"HA", core.PolicyHA}, {"Adaptive", ""}}
 
-	for _, r := range rows {
+	type measurement struct {
+		idle float64
+		tp   float64
+	}
+	out := make([]measurement, len(rows))
+	err := runCells(opt.parallelism(), len(rows), func(i int) error {
+		r := rows[i]
 		// Regime 1: idle cluster, single job.
 		var client *core.JobClient
 		var err error
 		if r.fixed != "" {
 			pol, perr := reg.Get(r.fixed)
 			if perr != nil {
-				return nil, perr
+				return perr
 			}
-			client, err = opt.singleUserRun(cache, 1, pol, nil, opt.Seed)
+			client, err = opt.singleUserRun(cache, memo, 1, pol, nil, opt.Seed)
 		} else {
-			client, err = opt.singleUserRun(cache, 1, core.AdaptiveEnvelopePolicy(),
+			client, err = opt.singleUserRun(cache, memo, 1, core.AdaptiveEnvelopePolicy(),
 				func(p core.InputProvider) core.InputProvider { return core.NewAdaptiveProvider(p) }, opt.Seed)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		idle := client.Job().ResponseTime()
+		out[i].idle = client.Job().ResponseTime()
 
 		// Regime 2: homogeneous multi-user workload.
 		polName := r.fixed
 		if polName == "" {
 			polName = "Adaptive"
 		}
-		tp, err := adaptiveWorkloadThroughput(opt, cache, polName)
+		tp, err := adaptiveWorkloadThroughput(opt, cache, memo, polName)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(r.name, idle, tp)
+		out[i].tp = tp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.AddRow(r.name, out[i].idle, out[i].tp)
 	}
 	return t, nil
 }
@@ -219,8 +263,8 @@ func AblationAdaptive(opt Options) (*Table, error) {
 // adaptiveWorkloadThroughput runs the Figure 6 homogeneous workload
 // under the named policy ("Adaptive" routes through the adaptive
 // provider) and returns jobs/hour.
-func adaptiveWorkloadThroughput(opt Options, cache *dsCache, policy string) (float64, error) {
-	r := newRig(nil, true)
+func adaptiveWorkloadThroughput(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, policy string) (float64, error) {
+	r := newRig(nil, true, memo)
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		name := fmt.Sprintf("li_ad_u%d", u)

@@ -39,61 +39,86 @@ func Figure5(opt Options) (*Figure5Result, error) {
 		return nil, err
 	}
 	cache := newDSCache()
+	memo := mapreduce.NewMapOutputCache()
 	reg := core.DefaultRegistry()
-	res := &Figure5Result{Opt: opt}
 
+	type cellSpec struct {
+		z      float64
+		scale  int
+		policy string
+	}
+	var specs []cellSpec
 	for _, z := range []float64{0, 1, 2} {
 		for _, scale := range opt.Scales {
-			spec := opt.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0)
-			ds, err := cache.get(spec)
-			if err != nil {
-				return nil, err
-			}
 			for _, polName := range opt.Policies {
-				pol, err := reg.Get(polName)
-				if err != nil {
-					return nil, err
-				}
-				cell := Figure5Cell{Z: z, Scale: scale, Policy: pol.Name}
-				for run := 0; run < opt.Runs; run++ {
-					r := newRig(nil, false) // single-user: 4 slots/node
-					f, err := r.load(ds, ds.Name())
-					if err != nil {
-						return nil, err
-					}
-					proj, err := tpch.LineItemSchema.Project("L_ORDERKEY", "L_PARTKEY", "L_SUPPKEY")
-					if err != nil {
-						return nil, err
-					}
-					spec, err := sampling.NewJobSpec(ds.Predicate(), opt.SampleK, proj, nil)
-					if err != nil {
-						return nil, err
-					}
-					provider := sampling.NewProvider(opt.SampleK, opt.Seed+int64(run)*101+int64(scale))
-					client, err := core.SubmitDynamic(r.jt, spec, mapreduce.SplitsForFile(f), provider, pol)
-					if err != nil {
-						return nil, err
-					}
-					job := client.Job()
-					if !mapreduce.RunUntilDone(r.eng, job, 1e8) {
-						return nil, fmt.Errorf("figure5: job stuck (z=%g scale=%d policy=%s)", z, scale, pol.Name)
-					}
-					if job.State() == mapreduce.StateFailed {
-						return nil, fmt.Errorf("figure5: job failed: %s", job.Failure())
-					}
-					cell.ResponseS += job.ResponseTime()
-					cell.PartitionsProcessed += float64(job.CompletedMaps())
-					cell.SampleSize += float64(len(job.Output()))
-				}
-				n := float64(opt.Runs)
-				cell.ResponseS /= n
-				cell.PartitionsProcessed /= n
-				cell.SampleSize /= n
-				res.Cells = append(res.Cells, cell)
+				specs = append(specs, cellSpec{z: z, scale: scale, policy: polName})
 			}
 		}
 	}
-	return res, nil
+	cells := make([]Figure5Cell, len(specs))
+	err := runCells(opt.parallelism(), len(specs), func(i int) error {
+		s := specs[i]
+		cell, err := figure5Cell(opt, cache, memo, reg, s.z, s.scale, s.policy)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure5Result{Opt: opt, Cells: cells}, nil
+}
+
+// figure5Cell measures one (skew, scale, policy) combination over
+// opt.Runs runs, each on a fresh idle cluster.
+func figure5Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, reg *core.Registry,
+	z float64, scale int, polName string) (Figure5Cell, error) {
+	ds, err := cache.get(opt.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
+	if err != nil {
+		return Figure5Cell{}, err
+	}
+	pol, err := reg.Get(polName)
+	if err != nil {
+		return Figure5Cell{}, err
+	}
+	cell := Figure5Cell{Z: z, Scale: scale, Policy: pol.Name}
+	for run := 0; run < opt.Runs; run++ {
+		r := newRig(nil, false, memo) // single-user: 4 slots/node
+		f, err := r.load(ds, ds.Name())
+		if err != nil {
+			return Figure5Cell{}, err
+		}
+		proj, err := tpch.LineItemSchema.Project("L_ORDERKEY", "L_PARTKEY", "L_SUPPKEY")
+		if err != nil {
+			return Figure5Cell{}, err
+		}
+		spec, err := sampling.NewJobSpec(ds.Predicate(), opt.SampleK, proj, nil)
+		if err != nil {
+			return Figure5Cell{}, err
+		}
+		provider := sampling.NewProvider(opt.SampleK, opt.Seed+int64(run)*101+int64(scale))
+		client, err := core.SubmitDynamic(r.jt, spec, mapreduce.SplitsForFile(f), provider, pol)
+		if err != nil {
+			return Figure5Cell{}, err
+		}
+		job := client.Job()
+		if !mapreduce.RunUntilDone(r.eng, job, 1e8) {
+			return Figure5Cell{}, fmt.Errorf("figure5: job stuck (z=%g scale=%d policy=%s)", z, scale, pol.Name)
+		}
+		if job.State() == mapreduce.StateFailed {
+			return Figure5Cell{}, fmt.Errorf("figure5: job failed: %s", job.Failure())
+		}
+		cell.ResponseS += job.ResponseTime()
+		cell.PartitionsProcessed += float64(job.CompletedMaps())
+		cell.SampleSize += float64(len(job.Output()))
+	}
+	n := float64(opt.Runs)
+	cell.ResponseS /= n
+	cell.PartitionsProcessed /= n
+	cell.SampleSize /= n
+	return cell, nil
 }
 
 // Cell finds a measurement.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynamicmr/internal/hive"
+	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/metrics"
 	"dynamicmr/internal/workload"
 )
@@ -34,21 +35,34 @@ func Figure6(opt Options) (*Figure6Result, error) {
 		return nil, err
 	}
 	cache := newDSCache()
-	res := &Figure6Result{Opt: opt}
+	memo := mapreduce.NewMapOutputCache()
+	type cellSpec struct {
+		z      float64
+		policy string
+	}
+	var specs []cellSpec
 	for _, z := range []float64{0, 2} {
 		for _, pol := range opt.Policies {
-			cell, err := figure6Cell(opt, cache, z, pol)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, cell)
+			specs = append(specs, cellSpec{z: z, policy: pol})
 		}
 	}
-	return res, nil
+	cells := make([]Figure6Cell, len(specs))
+	err := runCells(opt.parallelism(), len(specs), func(i int) error {
+		cell, err := figure6Cell(opt, cache, memo, specs[i].z, specs[i].policy)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure6Result{Opt: opt, Cells: cells}, nil
 }
 
-func figure6Cell(opt Options, cache *dsCache, z float64, policy string) (Figure6Cell, error) {
-	r := newRig(nil, true) // 16 map slots/node
+func figure6Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, z float64, policy string) (Figure6Cell, error) {
+	r := newRig(nil, true, memo) // 16 map slots/node
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		// Per-user dataset copy (§V-D: "each works against a different

@@ -52,26 +52,40 @@ func heterogeneous(opt Options, mkSched func() mapreduce.TaskScheduler, schedNam
 		return nil, err
 	}
 	cache := newDSCache()
-	res := &Figure7Result{Opt: opt, Scheduler: schedName}
+	memo := mapreduce.NewMapOutputCache()
+	type cellSpec struct {
+		frac   float64
+		policy string
+	}
+	var specs []cellSpec
 	for _, frac := range opt.SamplingFractions {
 		for _, pol := range opt.Policies {
-			var sched mapreduce.TaskScheduler
-			if mkSched != nil {
-				sched = mkSched()
-			}
-			cell, err := heterogeneousCell(opt, cache, sched, frac, pol)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, cell)
+			specs = append(specs, cellSpec{frac: frac, policy: pol})
 		}
 	}
-	return res, nil
+	cells := make([]Figure7Cell, len(specs))
+	err := runCells(opt.parallelism(), len(specs), func(i int) error {
+		// Schedulers are stateful, so each cell constructs its own.
+		var sched mapreduce.TaskScheduler
+		if mkSched != nil {
+			sched = mkSched()
+		}
+		cell, err := heterogeneousCell(opt, cache, memo, sched, specs[i].frac, specs[i].policy)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure7Result{Opt: opt, Scheduler: schedName, Cells: cells}, nil
 }
 
-func heterogeneousCell(opt Options, cache *dsCache, sched mapreduce.TaskScheduler,
+func heterogeneousCell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, sched mapreduce.TaskScheduler,
 	frac float64, policy string) (Figure7Cell, error) {
-	r := newRig(sched, true)
+	r := newRig(sched, true, memo)
 	nSampling := int(frac*float64(opt.Users) + 0.5)
 	if nSampling < 1 {
 		nSampling = 1

@@ -43,6 +43,13 @@ type Options struct {
 	Policies []string
 	// Seed makes the whole experiment deterministic.
 	Seed int64
+	// Parallelism bounds how many sweep cells run concurrently (the
+	// cmd/experiments -j flag); 0 or 1 means sequential. Each cell owns
+	// a private simulation rig and results are assembled in enumeration
+	// order, so tables and CSVs are byte-identical at any setting —
+	// parallelism is across cells, virtual time inside a cell is
+	// untouched.
+	Parallelism int
 	// TraceDir, when set, receives one utilization-timeline CSV per
 	// workload cell (figure6_*.csv, figure7_*.csv, ...), written from
 	// the cell's metrics sampler. The directory must exist.
@@ -116,6 +123,14 @@ func (o Options) workloadSpec(z float64, name string, seedOffset int64) dataset.
 		spec.RowsOverride = int64(o.WorkloadScale) * o.WorkloadRowsPerScaleOverride
 	}
 	return spec
+}
+
+// parallelism returns the effective worker count for runCells.
+func (o Options) parallelism() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // rowsPerScale returns the effective rows per unit scale.

@@ -24,19 +24,24 @@ type rig struct {
 }
 
 // newRig builds a fresh cluster; multiUser selects the 16-slot
-// configuration of §V-D.
-func newRig(sched mapreduce.TaskScheduler, multiUser bool) *rig {
+// configuration of §V-D. memo, when non-nil, is the sweep-wide
+// map-output cache shared by every cell's JobTracker (policies change
+// scheduling, not computation, so one cell's map outputs serve them
+// all).
+func newRig(sched mapreduce.TaskScheduler, multiUser bool, memo *mapreduce.MapOutputCache) *rig {
 	eng := sim.NewEngine()
 	cfg := cluster.PaperConfig()
 	if multiUser {
 		cfg = cfg.MultiUser()
 	}
 	cl := cluster.New(eng, cfg)
+	mrCfg := mapreduce.DefaultConfig()
+	mrCfg.MapOutputCache = memo
 	return &rig{
 		eng:     eng,
 		cl:      cl,
 		fs:      dfs.New(cl),
-		jt:      mapreduce.NewJobTracker(cl, mapreduce.DefaultConfig(), sched),
+		jt:      mapreduce.NewJobTracker(cl, mrCfg, sched),
 		catalog: hive.NewCatalog(),
 	}
 }
@@ -59,26 +64,33 @@ func (r *rig) load(ds *dataset.Dataset, name string) (*dfs.File, error) {
 
 // dsCache memoises dataset builds across cells: datasets are pure
 // values independent of any engine, so one build serves every policy
-// and run of a cell.
+// and run of a cell. Concurrent cells requesting different keys build
+// in parallel; cells requesting the same key share one build
+// (singleflight via per-entry sync.Once) instead of serializing the
+// whole cache behind a lock held during Build.
 type dsCache struct {
 	mu sync.Mutex
-	m  map[string]*dataset.Dataset
+	m  map[string]*dsEntry
 }
 
-func newDSCache() *dsCache { return &dsCache{m: make(map[string]*dataset.Dataset)} }
+type dsEntry struct {
+	once sync.Once
+	ds   *dataset.Dataset
+	err  error
+}
+
+func newDSCache() *dsCache { return &dsCache{m: make(map[string]*dsEntry)} }
 
 func (c *dsCache) get(spec dataset.Spec) (*dataset.Dataset, error) {
 	key := fmt.Sprintf("%s|%d|%g|%g|%d|%d|%d",
 		spec.Name, spec.Scale, spec.Z, spec.Selectivity, spec.Partitions, spec.Seed, spec.RowsOverride)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ds, ok := c.m[key]; ok {
-		return ds, nil
+	e := c.m[key]
+	if e == nil {
+		e = &dsEntry{}
+		c.m[key] = e
 	}
-	ds, err := dataset.Build(spec)
-	if err != nil {
-		return nil, err
-	}
-	c.m[key] = ds
-	return ds, nil
+	c.mu.Unlock()
+	e.once.Do(func() { e.ds, e.err = dataset.Build(spec) })
+	return e.ds, e.err
 }

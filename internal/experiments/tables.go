@@ -79,9 +79,17 @@ func Figure4(opt Options) (*Table, error) {
 	}
 	const n = 40
 	matches := int64(float64(5*opt.rowsPerScale())*opt.Selectivity + 0.5)
+	zs := []float64{0, 1, 2}
+	counts := make([][]int64, len(zs))
+	if err := runCells(opt.parallelism(), len(zs), func(i int) error {
+		counts[i] = skew.Counts(matches, zs[i], n, opt.Seed)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	byZ := map[float64][]int64{}
-	for _, z := range []float64{0, 1, 2} {
-		byZ[z] = skew.Counts(matches, z, n, opt.Seed)
+	for i, z := range zs {
+		byZ[z] = counts[i]
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 4: matching records per partition, 5x input (%d matches, 40 partitions)", matches),

@@ -151,4 +151,13 @@ type JobSpec struct {
 	NewReducer func(conf *JobConf) Reducer
 	// OnComplete, if set, fires when the job finishes (in virtual time).
 	OnComplete func(j *Job)
+	// MemoKey, when non-empty, declares the map computation pure: the
+	// output of mapping a split is a function of the split's source and
+	// this key alone — never of the task index, attempt number,
+	// scheduling order, or mutable state. A runtime configured with a
+	// MapOutputCache may then reuse one task's output for any other
+	// task (in any job, on any tracker sharing the cache) whose
+	// (source, MemoKey) pair matches. Cached Collectors are shared, so
+	// jobs that set a MemoKey must not mutate map output downstream.
+	MemoKey string
 }

@@ -74,6 +74,13 @@ type Config struct {
 	// disabled: the runtime keeps a nil *trace.Tracer and every
 	// instrumentation site reduces to one nil check.
 	Trace trace.Config
+	// MapOutputCache, when non-nil, memoises map outputs for jobs that
+	// declare a MemoKey (see JobSpec.MemoKey). The cache may be shared
+	// across JobTrackers; the experiment harness shares one across all
+	// cells of a sweep, where policies change scheduling but not
+	// computation. Virtual-time costs are charged either way, so a hit
+	// saves real wall-clock without perturbing simulated results.
+	MapOutputCache *MapOutputCache
 }
 
 // DefaultConfig returns the standard runtime configuration.

@@ -322,8 +322,27 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 	jt.assign(tt)
 }
 
-// execMapper executes the user's map logic over the split for real.
+// execMapper executes the user's map logic over the split, consulting
+// the memoization cache first for jobs that declare a MemoKey. The
+// simulated I/O and CPU for the attempt were already charged by the
+// phase chain, so a cache hit only skips the real record scan.
 func (jt *JobTracker) execMapper(t *MapTask) (*Collector, error) {
+	if cache, key := jt.cfg.MapOutputCache, t.Job.Spec.MemoKey; cache != nil && key != "" {
+		src := t.Split.Block.Source
+		if out, ok := cache.lookup(src, key); ok {
+			return out, nil
+		}
+		out, err := jt.runMapper(t)
+		if err == nil {
+			cache.store(src, key, out)
+		}
+		return out, err
+	}
+	return jt.runMapper(t)
+}
+
+// runMapper executes the user's map logic over the split for real.
+func (jt *JobTracker) runMapper(t *MapTask) (*Collector, error) {
 	j := t.Job
 	mapper := j.Spec.NewMapper(j.Conf)
 	if mapper == nil {

@@ -181,9 +181,18 @@ func NewJobSpec(pred expr.Expr, k int64, projection *data.Schema, conf *mapreduc
 		conf.Set(mapreduce.ConfProjection, strings.Join(projection.Columns(), ","))
 	}
 	conf.SetInt(mapreduce.ConfNumReduces, 1)
+	projCols := ""
+	if projection != nil {
+		projCols = strings.Join(projection.Columns(), ",")
+	}
 	return mapreduce.JobSpec{
 		Conf:       conf,
 		NewMapper:  NewMapperFactory(pred, k, projection),
 		NewReducer: NewReducerFactory(k),
+		// Algorithm 1's per-split output depends only on the split's
+		// records and (predicate, k, projection): the mapper caps its
+		// own emissions at k per task regardless of what other tasks
+		// find, so it is safe to memoise under this key.
+		MemoKey: fmt.Sprintf("sampling|k=%d|pred=%s|proj=%s", k, pred.String(), projCols),
 	}, nil
 }

@@ -27,6 +27,26 @@ func BenchmarkSharedResourceChurn(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkEventCancelChurn exercises the schedule-cancel-reschedule
+// pattern SharedResource.reschedule performs on every demand change —
+// the case the Event freelist targets.
+func BenchmarkEventCancelChurn(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	var ev *Event
+	for i := 0; i < b.N; i++ {
+		if ev != nil {
+			e.Cancel(ev)
+		}
+		ev = e.After(1, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+			ev = nil
+		}
+	}
+	e.Run()
+}
+
 func BenchmarkFIFOQueue(b *testing.B) {
 	e := NewEngine()
 	q := NewFIFOQueue(e, "disk", 100)

@@ -5,17 +5,26 @@
 //
 // All times are in seconds of virtual time, represented as float64. The
 // engine is single-threaded; callbacks scheduled on the engine run one at
-// a time, so no locking is needed in simulation code.
+// a time, so no locking is needed in simulation code. Distinct Engine
+// instances share no state, so independent simulations may run on
+// separate goroutines concurrently (the experiment harness does).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
 // Event is a scheduled callback. Events are ordered by time, with ties
 // broken by scheduling order, which makes runs fully deterministic.
+//
+// Event handles are single-owner: once the event has fired or been
+// canceled the engine recycles the Event object for a later At/After
+// call, so a holder must drop (nil out) its handle at that point and
+// never Cancel through a stale one — a stale Cancel could silently
+// cancel whatever unrelated event the object now represents. Every
+// holder in this repository nils its handle inside the callback or
+// immediately after Cancel; new code must follow the same discipline.
 type Event struct {
 	time     float64
 	seq      uint64
@@ -27,45 +36,22 @@ type Event struct {
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() float64 { return e.time }
 
-// Canceled reports whether Cancel was called on the event.
+// Canceled reports whether Cancel was called on the event (valid only
+// until the object is recycled; see the type comment).
 func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	queue   []*Event
 	stopped bool
+	// free holds fired/canceled Event objects for reuse. The DES hot
+	// loop schedules and cancels millions of events (every resource
+	// reschedule cancels and re-arms its completion event); recycling
+	// them removes that allocation churn from the hot path.
+	free []*Event
 	// processed counts events that have fired, for diagnostics.
 	processed uint64
 }
@@ -93,9 +79,18 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.canceled = false
+	} else {
+		ev = &Event{}
+	}
+	ev.time, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -105,7 +100,9 @@ func (e *Engine) After(d float64, fn func()) *Event {
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event through a still-held handle is a no-op (but
+// see the Event comment: handles must be dropped once the object may
+// have been recycled).
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled || ev.index < 0 {
 		if ev != nil {
@@ -114,8 +111,8 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.remove(ev)
+	e.recycle(ev)
 }
 
 // Stop makes Run return after the current event's callback completes.
@@ -131,6 +128,12 @@ func (e *Engine) Run() {
 
 // RunUntil processes events with time <= t, then advances the clock to t.
 // Events scheduled at exactly t do fire.
+//
+// Stopped-clock semantics: when Stop fires mid-run, the clock is left
+// at the last fired event's time rather than advancing to t — a
+// stopped engine reports the virtual time it actually reached, and
+// events still queued between Now() and t remain schedulable without
+// appearing to be in the past. A regression test pins this behaviour.
 func (e *Engine) RunUntil(t float64) {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped && e.queue[0].time <= t {
@@ -153,14 +156,125 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.canceled {
-		return
-	}
+	ev := e.pop()
 	if ev.time < e.now {
 		panic("sim: event time regression")
 	}
 	e.now = ev.time
 	e.processed++
 	ev.fn()
+	e.recycle(ev)
+}
+
+// recycle returns a fired or canceled event to the freelist, releasing
+// its callback so captured state does not outlive the event.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// less orders events by (time, seq).
+func less(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and sifts it up. The sift is hand-inlined rather
+// than routed through container/heap: the overwhelmingly common case —
+// scheduling at or after the times already queued along the path to
+// the root — exits on the first comparison with zero swaps and no
+// interface dispatch.
+func (e *Engine) push(ev *Event) {
+	i := len(e.queue)
+	e.queue = append(e.queue, ev)
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.queue[parent]
+		if less(p, ev) {
+			break
+		}
+		e.queue[i] = p
+		p.index = i
+		i = parent
+	}
+	e.queue[i] = ev
+	ev.index = i
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *Event {
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.queue[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes a queued event at an arbitrary heap position.
+func (e *Engine) remove(ev *Event) {
+	i := ev.index
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if i < n {
+		e.queue[i] = last
+		last.index = i
+		e.siftDown(i)
+		if last.index == i {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+// siftUp restores the heap property moving e.queue[i] toward the root.
+func (e *Engine) siftUp(i int) {
+	ev := e.queue[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.queue[parent]
+		if less(p, ev) {
+			break
+		}
+		e.queue[i] = p
+		p.index = i
+		i = parent
+	}
+	e.queue[i] = ev
+	ev.index = i
+}
+
+// siftDown restores the heap property moving e.queue[i] toward the
+// leaves.
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	ev := e.queue[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := e.queue[l]
+		if r := l + 1; r < n && less(e.queue[r], c) {
+			l, c = r, e.queue[r]
+		}
+		if less(ev, c) {
+			break
+		}
+		e.queue[i] = c
+		c.index = i
+		i = l
+	}
+	e.queue[i] = ev
+	ev.index = i
 }

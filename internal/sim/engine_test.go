@@ -161,6 +161,108 @@ func TestStopHaltsRun(t *testing.T) {
 	}
 }
 
+// Pins RunUntil's stopped-clock semantics: when Stop fires mid-run the
+// clock stays at the last fired event's time instead of advancing to
+// the bound, and the remaining events stay queued.
+func TestRunUntilStoppedClockStaysAtLastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() { e.Stop() })
+	fired := false
+	e.At(5, func() { fired = true })
+	e.RunUntil(10)
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %v after Stop mid-run, want 1 (stopped clock must not advance to the bound)", e.Now())
+	}
+	if fired {
+		t.Fatal("event after Stop fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Resuming drains the queue and then advances to the bound.
+	e.RunUntil(10)
+	if !fired {
+		t.Fatal("remaining event did not fire on resume")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v after resume, want 10", e.Now())
+	}
+}
+
+// Fired and canceled events return to the freelist and are reused by
+// later At calls with their canceled flag cleared.
+func TestFreelistRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.At(1, func() {})
+	e.Run()
+	ev2 := e.At(2, func() {})
+	if ev1 != ev2 {
+		t.Fatal("fired event object was not recycled")
+	}
+	e.Cancel(ev2)
+	ev3 := e.At(3, func() {})
+	if ev3 != ev2 {
+		t.Fatal("canceled event object was not recycled")
+	}
+	if ev3.Canceled() {
+		t.Fatal("recycled event still marked canceled")
+	}
+	fired := false
+	ev3.fn = func() { fired = true }
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// Canceling an event from inside its own callback must not push it to
+// the freelist twice (a double recycle would hand the same object to
+// two later At calls).
+func TestCancelSelfDuringCallbackNoDoubleRecycle(t *testing.T) {
+	e := NewEngine()
+	var ev *Event
+	ev = e.At(1, func() { e.Cancel(ev) })
+	e.Run()
+	a := e.At(2, func() {})
+	b := e.At(3, func() {})
+	if a == b {
+		t.Fatal("event recycled twice: two live events share one object")
+	}
+	e.Run()
+}
+
+// Distinct engines share no state, so independent simulations can run
+// on concurrent goroutines (the experiment harness does); run under
+// -race.
+func TestConcurrentEnginesIndependent(t *testing.T) {
+	done := make(chan uint64)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			e := NewEngine()
+			var ev *Event
+			for i := 0; i < 2000; i++ {
+				if ev != nil && i%3 == 0 {
+					e.Cancel(ev)
+					ev = nil
+				}
+				ev = e.After(float64(g+1), func() {})
+				if i%64 == 0 {
+					e.Run()
+					ev = nil
+				}
+			}
+			e.Run()
+			done <- e.Processed()
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if n := <-done; n == 0 {
+			t.Fatal("engine processed no events")
+		}
+	}
+}
+
 func TestProcessedAndPendingCounters(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 5; i++ {
