@@ -291,3 +291,33 @@ func TestTracingDisabledOverhead(t *testing.T) {
 		t.Fatalf("tracing-disabled run took %v, traced run %v: disabled overhead exceeds 5%%", off, on)
 	}
 }
+
+// TestSamplerOverhead guards the utilization sampler's cost: on top of
+// a traced run, enabling WithUtilizationSampling must stay under 5% of
+// wall clock (same min-of-N discipline and absolute allowance as the
+// tracing check) and must not move the virtual timeline.
+func TestSamplerOverhead(t *testing.T) {
+	const runs = 5
+	minWall := func(opts ...Option) (time.Duration, float64) {
+		best, virtual := time.Duration(1<<62), 0.0
+		for i := 0; i < runs; i++ {
+			w, v := runQuickstart(t, opts...)
+			if w < best {
+				best = w
+			}
+			virtual = v
+		}
+		return best, virtual
+	}
+	runQuickstart(t, WithTracing(trace.Config{}))
+	base, baseV := minWall(WithTracing(trace.Config{}))
+	on, onV := minWall(WithTracing(trace.Config{}), WithUtilizationSampling(5))
+
+	if math.Abs(baseV-onV) > 0.01*baseV {
+		t.Fatalf("sampling changed the virtual timeline: base=%vs on=%vs", baseV, onV)
+	}
+	budget := base + base/20 + 25*time.Millisecond
+	if on > budget {
+		t.Fatalf("sampled run took %v, unsampled traced run %v: sampler overhead exceeds 5%%", on, base)
+	}
+}

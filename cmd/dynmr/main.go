@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair] [-trace-out FILE] [-e "SQL"]
+//	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair]
+//	      [-trace-out FILE] [-report-out FILE] [-sample-interval S] [-e "SQL"]
+//	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS] ...
 //
 // Without -e, statements are read from stdin (one per line, ';'
 // optional). With -trace-out, a Chrome trace-event JSON file covering
 // every task attempt, policy decision and utilization sample is
 // written at exit — load it in https://ui.perfetto.dev or
-// chrome://tracing.
+// chrome://tracing. With -report-out, a self-contained HTML run report
+// (utilization time-series, slot-occupancy Gantt, policy decision log)
+// is written at exit.
+//
+// The serve subcommand runs a paced loop of sampling queries while
+// exposing live observability over HTTP: Prometheus text exposition on
+// /metrics and JSON run status on /status.
 package main
 
 import (
@@ -28,6 +36,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	scale := flag.Int("scale", 1, "TPC-H scale factor of the generated LINEITEM table")
 	skewZ := flag.Float64("skew", 1, "Zipf exponent of the planted-match distribution (0, 1 or 2)")
 	rows := flag.Int64("rows", 2_000_000, "row-count override (0 = full 6M x scale)")
@@ -37,17 +49,16 @@ func main() {
 	maxRows := flag.Int("maxrows", 20, "result rows to print")
 	eventLog := flag.Bool("trace", false, "print the task-level event log for each job")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) at exit")
+	reportOut := flag.String("report-out", "", "write a self-contained HTML run report at exit")
+	sampleInterval := flag.Float64("sample-interval", 0, "utilization sampler cadence in virtual seconds for -report-out (0 = 30s default)")
 	flag.Parse()
 
-	var opts []dynamicmr.Option
-	if *multi {
-		opts = append(opts, dynamicmr.WithMultiUserSlots())
-	}
-	if *fair {
-		opts = append(opts, dynamicmr.WithFairScheduler(5))
-	}
-	if *traceOut != "" {
+	opts := clusterOpts(*multi, *fair)
+	if *traceOut != "" || *reportOut != "" {
 		opts = append(opts, dynamicmr.WithTracing(trace.Config{}))
+	}
+	if *reportOut != "" {
+		opts = append(opts, dynamicmr.WithUtilizationSampling(*sampleInterval))
 	}
 	c, err := dynamicmr.NewCluster(opts...)
 	if err != nil {
@@ -84,6 +95,7 @@ func main() {
 	if *exec != "" {
 		runOne(*exec)
 		writeTrace(c, *traceOut)
+		writeReport(c, *reportOut, "dynmr session", reportParams(*scale, *skewZ, *rows))
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -94,6 +106,7 @@ func main() {
 		fmt.Print("dynmr> ")
 	}
 	writeTrace(c, *traceOut)
+	writeReport(c, *reportOut, "dynmr session", reportParams(*scale, *skewZ, *rows))
 }
 
 // writeTrace exports the session's Chrome trace when -trace-out is set.

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"dynamicmr"
+	"dynamicmr/internal/obs"
+	"dynamicmr/internal/trace"
+)
+
+// serveMain runs `dynmr serve`: a paced closed loop of sampling queries
+// against the simulated cluster, with the observability surface exposed
+// live over HTTP — Prometheus text exposition on /metrics and a JSON
+// run status on /status. The simulated runtime is single-threaded, so
+// the query loop advances the engine while holding the server's lock;
+// scrapes between bursts always observe a consistent cluster.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("dynmr serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address for /metrics and /status")
+	scale := fs.Int("scale", 1, "TPC-H scale factor of the generated LINEITEM table")
+	skewZ := fs.Float64("skew", 1, "Zipf exponent of the planted-match distribution (0, 1 or 2)")
+	rows := fs.Int64("rows", 2_000_000, "row-count override (0 = full 6M x scale)")
+	multi := fs.Bool("multiuser", false, "use the 16-map-slots-per-node configuration")
+	fair := fs.Bool("fair", false, "use the Fair Scheduler instead of FIFO")
+	policy := fs.String("policy", "LA", "growth policy for the sampling queries")
+	k := fs.Int64("k", 1000, "required sample size per query")
+	queries := fs.Int("queries", 0, "number of queries to run before idling (0 = loop until interrupted)")
+	paceMS := fs.Int("pace-ms", 500, "real milliseconds to sleep between queries (scrape window)")
+	sampleInterval := fs.Float64("sample-interval", 5, "utilization sampler cadence in virtual seconds (single queries are short, so the default is denser than the workload figures' 30s)")
+	reportOut := fs.String("report-out", "", "write the HTML run report to FILE after the query loop finishes")
+	fs.Parse(args)
+
+	c, err := dynamicmr.NewCluster(append(clusterOpts(*multi, *fair),
+		dynamicmr.WithTracing(trace.Config{}),
+		dynamicmr.WithUtilizationSampling(*sampleInterval))...)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := c.LoadLineItem("lineitem", dynamicmr.DatasetSpec{
+		Scale: *scale, Skew: *skewZ, Rows: *rows, Seed: 42,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := obs.NewServer(c.Sampler())
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "dynmr serve: listening on http://%s (/metrics, /status); policy %s, k=%d\n",
+		*addr, *policy, *k)
+
+	pred := ds.Predicate().String()
+	for n := 0; *queries == 0 || n < *queries; n++ {
+		srv.Lock()
+		res, err := c.Sample("lineitem", pred, *k, *policy, []string{"L_ORDERKEY", "L_PARTKEY", "L_SUPPKEY"})
+		srv.Unlock()
+		if err != nil {
+			fatal(err)
+		}
+		job := res.Job
+		fmt.Fprintf(os.Stderr, "query %d: %d row(s), response %.2fs, %d/%d partitions, clock %.2fs\n",
+			n+1, len(res.Rows), job.ResponseTime(), job.CompletedMaps(), job.ScheduledMaps(), c.Now())
+		time.Sleep(time.Duration(*paceMS) * time.Millisecond)
+	}
+
+	if *reportOut != "" {
+		srv.Lock()
+		writeReport(c, *reportOut, fmt.Sprintf("dynmr serve — policy %s, scale %dx, z=%g", *policy, *scale, *skewZ),
+			[][2]string{
+				{"policy", *policy},
+				{"scale", fmt.Sprintf("%dx", *scale)},
+				{"skew z", fmt.Sprintf("%g", *skewZ)},
+				{"sample k", fmt.Sprintf("%d", *k)},
+				{"queries", fmt.Sprintf("%d", *queries)},
+			})
+		srv.Unlock()
+	}
+	fmt.Fprintf(os.Stderr, "dynmr serve: query loop done; still serving on http://%s (interrupt to exit)\n", *addr)
+	select {}
+}
+
+// clusterOpts assembles the hardware/scheduler options shared with the
+// shell mode.
+func clusterOpts(multi, fair bool) []dynamicmr.Option {
+	var opts []dynamicmr.Option
+	if multi {
+		opts = append(opts, dynamicmr.WithMultiUserSlots())
+	}
+	if fair {
+		opts = append(opts, dynamicmr.WithFairScheduler(5))
+	}
+	return opts
+}
+
+// writeReport renders the HTML run report when -report-out is set.
+func writeReport(c *dynamicmr.Cluster, path, title string, params [][2]string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.WriteReport(f, title, params); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote run report to %s\n", path)
+}
+
+// reportParams summarises the shell session for its report header.
+func reportParams(scale int, skew float64, rows int64) [][2]string {
+	return [][2]string{
+		{"mode", "interactive shell"},
+		{"scale", fmt.Sprintf("%dx", scale)},
+		{"skew z", fmt.Sprintf("%g", skew)},
+		{"rows", fmt.Sprintf("%d", rows)},
+	}
+}

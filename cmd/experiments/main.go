@@ -7,7 +7,8 @@
 //
 //	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
 //	            [-mode quick|paper] [-j N] [-policies LIST] [-csv]
-//	            [-trace-out DIR] [-bench-json FILE]
+//	            [-trace-out DIR] [-report-out DIR] [-sample-interval S]
+//	            [-bench-json FILE]
 //
 // -j runs up to N sweep cells concurrently (default runtime.NumCPU).
 // Parallelism is across cells only: each cell owns a private simulated
@@ -24,6 +25,14 @@
 // With -trace-out, each multi-user workload cell (figures 6-8) writes
 // its 30-second utilization timeline as a CSV file into DIR (created
 // if missing), alongside the printed summary tables.
+//
+// With -report-out, every figure cell (5-8) additionally runs with
+// tracing and a utilization sampler enabled and writes one
+// self-contained HTML run report into DIR (created if missing):
+// cluster/per-node time-series, a slot-occupancy Gantt joined from the
+// trace spans, and the Input Provider decision log. -sample-interval
+// overrides the sampler cadence (virtual seconds; default 5 s for the
+// single-user figure-5 cells, 30 s for the workload figures).
 //
 // Quick mode (default) shrinks datasets and measurement windows about
 // an order of magnitude and finishes in minutes; paper mode uses the
@@ -48,6 +57,8 @@ func main() {
 	mode := flag.String("mode", "quick", "quick (scaled-down, minutes) or paper (full §V parameters)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace-out", "", "directory for per-cell utilization timeline CSVs (figures 6-8)")
+	reportOut := flag.String("report-out", "", "directory for per-cell self-contained HTML run reports (figures 5-8)")
+	sampleInterval := flag.Float64("sample-interval", 0, "observability sampler cadence in virtual seconds for -report-out time-series (0 = per-figure default)")
 	jobs := flag.Int("j", runtime.NumCPU(), "sweep cells to run concurrently (1 = sequential; output is identical either way)")
 	policies := flag.String("policies", "", "comma-separated subset of Table I policies to sweep (default: all)")
 	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
@@ -70,6 +81,14 @@ func main() {
 		}
 		opt.TraceDir = *traceOut
 	}
+	if *reportOut != "" {
+		if err := os.MkdirAll(*reportOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opt.ReportDir = *reportOut
+	}
+	opt.SampleIntervalS = *sampleInterval
 	opt.Parallelism = *jobs
 	if *policies != "" {
 		opt.Policies = strings.Split(*policies, ",")

@@ -2,6 +2,7 @@ package dynamicmr
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"dynamicmr/internal/cluster"
@@ -12,6 +13,7 @@ import (
 	"dynamicmr/internal/expr"
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/obs"
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
@@ -40,10 +42,12 @@ type DatasetSpec struct {
 type Option func(*config)
 
 type config struct {
-	hw        cluster.Config
-	runtime   mapreduce.Config
-	scheduler mapreduce.TaskScheduler
-	policies  *core.Registry
+	hw             cluster.Config
+	runtime        mapreduce.Config
+	scheduler      mapreduce.TaskScheduler
+	policies       *core.Registry
+	sample         bool
+	sampleInterval float64
 }
 
 // WithHardware replaces the default 10-node paper cluster.
@@ -91,6 +95,19 @@ func WithTracing(tc trace.Config) Option {
 	}
 }
 
+// WithUtilizationSampling attaches a virtual-clock utilization sampler
+// to the cluster: every intervalS virtual seconds (0 picks the default
+// 30 s cadence) it snapshots per-node CPU, disk and slot occupancy,
+// queue depths and Input Provider state. The series backs Sampler(),
+// WriteReport and the obs.Server /metrics endpoint; combine with
+// WithTracing for the slot-occupancy Gantt and gauge registry.
+func WithUtilizationSampling(intervalS float64) Option {
+	return func(c *config) {
+		c.sample = true
+		c.sampleInterval = intervalS
+	}
+}
+
 // Cluster is the top-level handle: a simulated Hadoop cluster with a
 // DFS, a JobTracker, a table catalog and a policy registry.
 type Cluster struct {
@@ -101,6 +118,7 @@ type Cluster struct {
 	catalog  *hive.Catalog
 	policies *core.Registry
 	sessions map[string]*hive.Session
+	sampler  *obs.Sampler
 	seed     int64
 }
 
@@ -123,7 +141,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	eng := sim.NewEngine()
 	hw := cluster.New(eng, cfg.hw)
-	return &Cluster{
+	c := &Cluster{
 		eng:      eng,
 		hw:       hw,
 		fs:       dfs.New(hw),
@@ -131,7 +149,12 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		catalog:  hive.NewCatalog(),
 		policies: cfg.policies,
 		sessions: make(map[string]*hive.Session),
-	}, nil
+	}
+	if cfg.sample {
+		c.sampler = obs.NewSampler(c.jt, obs.Config{IntervalS: cfg.sampleInterval})
+		c.sampler.Start()
+	}
+	return c, nil
 }
 
 // Now returns the cluster's virtual time in seconds.
@@ -154,6 +177,21 @@ func (c *Cluster) Engine() *sim.Engine { return c.eng }
 // Use it to export a Chrome trace (WriteChromeTrace), the policy audit
 // log (WritePolicyCSV) or the utilization timeline (WriteTimelineCSV).
 func (c *Cluster) Tracer() *trace.Tracer { return c.jt.Tracer() }
+
+// Sampler returns the utilization sampler; nil unless built
+// WithUtilizationSampling.
+func (c *Cluster) Sampler() *obs.Sampler { return c.sampler }
+
+// WriteReport renders the self-contained HTML run report (utilization
+// time-series, slot-occupancy Gantt, policy decision log) to w. It
+// requires WithUtilizationSampling; WithTracing enriches it with the
+// Gantt and decision overlay.
+func (c *Cluster) WriteReport(w io.Writer, title string, params [][2]string) error {
+	if c.sampler == nil {
+		return fmt.Errorf("dynamicmr: WriteReport requires WithUtilizationSampling")
+	}
+	return obs.NewReport(title, c.sampler, params).WriteHTML(w)
+}
 
 // Tables lists the registered table names.
 func (c *Cluster) Tables() []string { return c.catalog.Names() }

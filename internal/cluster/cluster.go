@@ -155,8 +155,42 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	return c
 }
 
+// CPUUsedIntegral returns core-seconds consumed on this node up to now.
+func (n *Node) CPUUsedIntegral() float64 { return n.CPU.UsedIntegral() }
+
+// CPUCapacity returns the node's core capacity (core-seconds/second),
+// including any speed factor.
+func (n *Node) CPUCapacity() float64 { return n.CPU.Capacity() }
+
+// DiskUsedIntegral sums bytes transferred across this node's disks up
+// to now.
+func (n *Node) DiskUsedIntegral() float64 {
+	var t float64
+	for _, d := range n.Disks {
+		t += d.UsedIntegral()
+	}
+	return t
+}
+
+// DiskCapacity returns the node's aggregate disk bandwidth in bytes/s,
+// including any speed factor.
+func (n *Node) DiskCapacity() float64 {
+	var t float64
+	for _, d := range n.Disks {
+		t += d.Capacity()
+	}
+	return t
+}
+
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// NetworkUsedIntegral returns bytes moved over the shared fabric up to
+// now.
+func (c *Cluster) NetworkUsedIntegral() float64 { return c.Network.UsedIntegral() }
+
+// NetworkCapacity returns the fabric's aggregate bandwidth in bytes/s.
+func (c *Cluster) NetworkCapacity() float64 { return c.Network.Capacity() }
 
 // CPUUsedIntegral sums core-seconds consumed across all nodes up to now.
 func (c *Cluster) CPUUsedIntegral() float64 {

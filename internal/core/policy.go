@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dynamicmr/internal/policyexpr"
 )
@@ -35,11 +36,17 @@ type Policy struct {
 	// over AS and TS ("inf" = unbounded).
 	GrabLimitExpr string
 
-	compiled *policyexpr.Expr
+	// compiled holds the parsed GrabLimitExpr. Registry policies are
+	// shared across concurrently-running experiment cells, so the lazy
+	// compile path must be race-free: the pointer is published
+	// atomically and Expr.Eval is a read-only walk.
+	compiled atomic.Pointer[policyexpr.Expr]
 }
 
 // Compile parses GrabLimitExpr; it must be called (directly or via
-// Registry/Builtins) before GrabLimit.
+// Registry/Builtins) before GrabLimit. Recompiling an already-compiled
+// policy is a no-op unless the expression text changed, so concurrent
+// submitters sharing one registry never re-publish the pointer.
 func (p *Policy) Compile() error {
 	if p.Name == "" {
 		return fmt.Errorf("core: policy needs a name")
@@ -50,11 +57,14 @@ func (p *Policy) Compile() error {
 	if p.WorkThresholdPct < 0 || p.WorkThresholdPct > 100 {
 		return fmt.Errorf("core: policy %q work threshold %v outside [0,100]", p.Name, p.WorkThresholdPct)
 	}
+	if e := p.compiled.Load(); e != nil && e.String() == p.GrabLimitExpr {
+		return nil
+	}
 	e, err := policyexpr.Compile(p.GrabLimitExpr)
 	if err != nil {
 		return fmt.Errorf("core: policy %q grab limit: %w", p.Name, err)
 	}
-	p.compiled = e
+	p.compiled.Store(e)
 	return nil
 }
 
@@ -70,12 +80,14 @@ func (p *Policy) GrabLimit(availableSlots, totalSlots int) (int, error) {
 // to backlog rather than instantaneous slot availability (the adaptive
 // envelope uses it; Table I's formulas ignore it).
 func (p *Policy) GrabLimitWith(availableSlots, totalSlots, queuedTasks int) (int, error) {
-	if p.compiled == nil {
+	e := p.compiled.Load()
+	if e == nil || e.String() != p.GrabLimitExpr {
 		if err := p.Compile(); err != nil {
 			return 0, err
 		}
+		e = p.compiled.Load()
 	}
-	v, err := p.compiled.Eval(policyexpr.Env{
+	v, err := e.Eval(policyexpr.Env{
 		"AS": float64(availableSlots),
 		"TS": float64(totalSlots),
 		"QT": float64(queuedTasks),

@@ -27,7 +27,7 @@ func (o Options) singleUserRun(cache *dsCache, memo *mapreduce.MapOutputCache, z
 	if err != nil {
 		return nil, err
 	}
-	r := newRig(nil, false, memo)
+	r := newRig(nil, false, memo, false)
 	f, err := r.load(ds, ds.Name())
 	if err != nil {
 		return nil, err
@@ -264,7 +264,7 @@ func AblationAdaptive(opt Options) (*Table, error) {
 // under the named policy ("Adaptive" routes through the adaptive
 // provider) and returns jobs/hour.
 func adaptiveWorkloadThroughput(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, policy string) (float64, error) {
-	r := newRig(nil, true, memo)
+	r := newRig(nil, true, memo, false)
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		name := fmt.Sprintf("li_ad_u%d", u)

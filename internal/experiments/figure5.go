@@ -5,6 +5,7 @@ import (
 
 	"dynamicmr/internal/core"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/obs"
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/tpch"
 )
@@ -85,7 +86,15 @@ func figure5Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, re
 	}
 	cell := Figure5Cell{Z: z, Scale: scale, Policy: pol.Name}
 	for run := 0; run < opt.Runs; run++ {
-		r := newRig(nil, false, memo) // single-user: 4 slots/node
+		r := newRig(nil, false, memo, opt.reporting()) // single-user: 4 slots/node
+		// Report the cell's final run: single-user jobs are short, so a
+		// 2 s default cadence keeps the time-series dense (the report
+		// strides long series back down, so paper mode stays viewable).
+		var osamp *obs.Sampler
+		if opt.reporting() && run == opt.Runs-1 {
+			osamp = obs.NewSampler(r.jt, obs.Config{IntervalS: opt.sampleInterval(2)})
+			osamp.Start()
+		}
 		f, err := r.load(ds, ds.Name())
 		if err != nil {
 			return Figure5Cell{}, err
@@ -109,6 +118,26 @@ func figure5Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, re
 		}
 		if job.State() == mapreduce.StateFailed {
 			return Figure5Cell{}, fmt.Errorf("figure5: job failed: %s", job.Failure())
+		}
+		if osamp != nil {
+			// Run past the next sample boundary so the tail interval
+			// lands in the series (the job itself may be shorter than
+			// one interval).
+			r.eng.RunUntil(r.eng.Now() + osamp.Interval())
+			err := writeCellReport(opt,
+				fmt.Sprintf("figure5_z%g_%dx_%s", z, scale, pol.Name),
+				fmt.Sprintf("Figure 5 run — z=%g, scale %dx, policy %s", z, scale, pol.Name),
+				osamp, [][2]string{
+					{"figure", "5 (single-user response time)"},
+					{"skew z", fmt.Sprintf("%g", z)},
+					{"scale", fmt.Sprintf("%dx", scale)},
+					{"policy", pol.Name},
+					{"sample k", fmt.Sprintf("%d", opt.SampleK)},
+					{"run", fmt.Sprintf("%d of %d", run+1, opt.Runs)},
+				})
+			if err != nil {
+				return Figure5Cell{}, err
+			}
 		}
 		cell.ResponseS += job.ResponseTime()
 		cell.PartitionsProcessed += float64(job.CompletedMaps())

@@ -6,6 +6,7 @@ import (
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/metrics"
+	"dynamicmr/internal/obs"
 	"dynamicmr/internal/workload"
 )
 
@@ -62,7 +63,7 @@ func Figure6(opt Options) (*Figure6Result, error) {
 }
 
 func figure6Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, z float64, policy string) (Figure6Cell, error) {
-	r := newRig(nil, true, memo) // 16 map slots/node
+	r := newRig(nil, true, memo, opt.reporting()) // 16 map slots/node
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		// Per-user dataset copy (§V-D: "each works against a different
@@ -87,12 +88,27 @@ func figure6Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, z 
 	}
 	sampler := metrics.NewSampler(r.jt, 30)
 	sampler.Start()
+	var osamp *obs.Sampler
+	if opt.reporting() {
+		osamp = obs.NewSampler(r.jt, obs.Config{IntervalS: opt.sampleInterval(obs.DefaultIntervalS)})
+		osamp.Start()
+	}
 	results, err := workload.Run(r.eng, users, workload.Config{WarmupS: opt.WarmupS, MeasureS: opt.MeasureS})
 	if err != nil {
 		return Figure6Cell{}, fmt.Errorf("figure6 (z=%g policy=%s): %w", z, policy, err)
 	}
 	cpu, disk, occ := sampler.Averages(opt.WarmupS)
 	if err := writeCellTimeline(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), sampler); err != nil {
+		return Figure6Cell{}, err
+	}
+	if err := writeCellReport(opt, fmt.Sprintf("figure6_z%g_%s", z, policy),
+		fmt.Sprintf("Figure 6 workload — z=%g, policy %s", z, policy), osamp, [][2]string{
+			{"figure", "6 (homogeneous multi-user)"},
+			{"skew z", fmt.Sprintf("%g", z)},
+			{"policy", policy},
+			{"users", fmt.Sprintf("%d", opt.Users)},
+			{"window", fmt.Sprintf("%gs warmup + %gs measure", opt.WarmupS, opt.MeasureS)},
+		}); err != nil {
 		return Figure6Cell{}, err
 	}
 	cs, _ := results.Class("Sampling")

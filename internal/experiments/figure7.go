@@ -6,6 +6,7 @@ import (
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/metrics"
+	"dynamicmr/internal/obs"
 	"dynamicmr/internal/workload"
 )
 
@@ -85,7 +86,7 @@ func heterogeneous(opt Options, mkSched func() mapreduce.TaskScheduler, schedNam
 
 func heterogeneousCell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, sched mapreduce.TaskScheduler,
 	frac float64, policy string) (Figure7Cell, error) {
-	r := newRig(sched, true, memo)
+	r := newRig(sched, true, memo, opt.reporting())
 	nSampling := int(frac*float64(opt.Users) + 0.5)
 	if nSampling < 1 {
 		nSampling = 1
@@ -127,16 +128,31 @@ func heterogeneousCell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCac
 	}
 	sampler := metrics.NewSampler(r.jt, 30)
 	sampler.Start()
+	var osamp *obs.Sampler
+	if opt.reporting() {
+		osamp = obs.NewSampler(r.jt, obs.Config{IntervalS: opt.sampleInterval(obs.DefaultIntervalS)})
+		osamp.Start()
+	}
 	results, err := workload.Run(r.eng, users, workload.Config{WarmupS: opt.WarmupS, MeasureS: opt.MeasureS})
 	if err != nil {
 		return Figure7Cell{}, fmt.Errorf("heterogeneous (frac=%g policy=%s): %w", frac, policy, err)
 	}
 	_, _, occ := sampler.Averages(opt.WarmupS)
-	fig := "figure7"
+	fig, figLabel := "figure7", "Figure 7"
 	if sched != nil {
-		fig = "figure8"
+		fig, figLabel = "figure8", "Figure 8"
 	}
 	if err := writeCellTimeline(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), sampler); err != nil {
+		return Figure7Cell{}, err
+	}
+	if err := writeCellReport(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy),
+		fmt.Sprintf("%s workload — sampling fraction %g, policy %s", figLabel, frac, policy), osamp, [][2]string{
+			{"figure", fig + " (heterogeneous workload)"},
+			{"sampling fraction", fmt.Sprintf("%g", frac)},
+			{"policy", policy},
+			{"users", fmt.Sprintf("%d", opt.Users)},
+			{"window", fmt.Sprintf("%gs warmup + %gs measure", opt.WarmupS, opt.MeasureS)},
+		}); err != nil {
 		return Figure7Cell{}, err
 	}
 	samp, _ := results.Class("Sampling")

@@ -54,6 +54,17 @@ type Options struct {
 	// workload cell (figure6_*.csv, figure7_*.csv, ...), written from
 	// the cell's metrics sampler. The directory must exist.
 	TraceDir string
+	// ReportDir, when set, enables tracing inside every cell's rig and
+	// writes one self-contained HTML run report per cell
+	// (figure5_*.html, figure6_*.html, ...). The directory must exist.
+	// Each cell owns a private tracer and observability sampler, so
+	// reports stay isolated under Parallelism > 1.
+	ReportDir string
+	// SampleIntervalS overrides the observability sampler cadence used
+	// for ReportDir time-series; 0 picks a per-figure default (5 s for
+	// single-user Figure 5 cells, 30 s — the paper's §V-D monitoring
+	// cadence — for the workload figures).
+	SampleIntervalS float64
 }
 
 // DefaultOptions is the paper-faithful configuration.
@@ -123,6 +134,18 @@ func (o Options) workloadSpec(z float64, name string, seedOffset int64) dataset.
 		spec.RowsOverride = int64(o.WorkloadScale) * o.WorkloadRowsPerScaleOverride
 	}
 	return spec
+}
+
+// reporting reports whether cells run traced with an obs sampler.
+func (o Options) reporting() bool { return o.ReportDir != "" }
+
+// sampleInterval returns the report-sampler cadence, falling back to
+// the given per-figure default.
+func (o Options) sampleInterval(def float64) float64 {
+	if o.SampleIntervalS > 0 {
+		return o.SampleIntervalS
+	}
+	return def
 }
 
 // parallelism returns the effective worker count for runCells.

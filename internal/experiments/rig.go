@@ -12,6 +12,7 @@ import (
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
+	"dynamicmr/internal/trace"
 )
 
 // rig is one experiment's simulated test bench.
@@ -27,8 +28,9 @@ type rig struct {
 // configuration of §V-D. memo, when non-nil, is the sweep-wide
 // map-output cache shared by every cell's JobTracker (policies change
 // scheduling, not computation, so one cell's map outputs serve them
-// all).
-func newRig(sched mapreduce.TaskScheduler, multiUser bool, memo *mapreduce.MapOutputCache) *rig {
+// all). traced enables the rig's private span/metric registry — each
+// rig gets its own tracer, so concurrent cells never share one.
+func newRig(sched mapreduce.TaskScheduler, multiUser bool, memo *mapreduce.MapOutputCache, traced bool) *rig {
 	eng := sim.NewEngine()
 	cfg := cluster.PaperConfig()
 	if multiUser {
@@ -37,6 +39,9 @@ func newRig(sched mapreduce.TaskScheduler, multiUser bool, memo *mapreduce.MapOu
 	cl := cluster.New(eng, cfg)
 	mrCfg := mapreduce.DefaultConfig()
 	mrCfg.MapOutputCache = memo
+	if traced {
+		mrCfg.Trace = trace.Config{Enabled: true}
+	}
 	return &rig{
 		eng:     eng,
 		cl:      cl,

@@ -105,16 +105,68 @@ type TaskTracker struct {
 	reduceSlots int
 	mapUsed     int
 	reduceUsed  int
+
+	// Per-node occupied-slot-second integrals (the node-level analogue
+	// of JobTracker.mapSlotIntegral), accrued lazily on every slot
+	// change so the obs sampler can derive per-node occupancy.
+	mapSlotIntegral    float64
+	reduceSlotIntegral float64
+	lastSlotChange     float64
 }
 
 // NodeID returns the tracker's node id.
 func (tt *TaskTracker) NodeID() int { return tt.node.ID }
+
+// MapSlots returns the node's configured map slot count.
+func (tt *TaskTracker) MapSlots() int { return tt.mapSlots }
+
+// ReduceSlots returns the node's configured reduce slot count.
+func (tt *TaskTracker) ReduceSlots() int { return tt.reduceSlots }
+
+// MapSlotsUsed returns currently occupied map slots.
+func (tt *TaskTracker) MapSlotsUsed() int { return tt.mapUsed }
+
+// ReduceSlotsUsed returns currently occupied reduce slots.
+func (tt *TaskTracker) ReduceSlotsUsed() int { return tt.reduceUsed }
 
 // FreeMapSlots returns currently unoccupied map slots.
 func (tt *TaskTracker) FreeMapSlots() int { return tt.mapSlots - tt.mapUsed }
 
 // FreeReduceSlots returns currently unoccupied reduce slots.
 func (tt *TaskTracker) FreeReduceSlots() int { return tt.reduceSlots - tt.reduceUsed }
+
+// accrueSlots folds elapsed time into the node's slot integrals.
+func (tt *TaskTracker) accrueSlots() {
+	now := tt.jt.eng.Now()
+	dt := now - tt.lastSlotChange
+	tt.mapSlotIntegral += float64(tt.mapUsed) * dt
+	tt.reduceSlotIntegral += float64(tt.reduceUsed) * dt
+	tt.lastSlotChange = now
+}
+
+func (tt *TaskTracker) changeMapSlots(delta int) {
+	tt.accrueSlots()
+	tt.mapUsed += delta
+}
+
+func (tt *TaskTracker) changeReduceSlots(delta int) {
+	tt.accrueSlots()
+	tt.reduceUsed += delta
+}
+
+// MapSlotIntegral returns the node's accumulated occupied-map-slot
+// seconds up to now.
+func (tt *TaskTracker) MapSlotIntegral() float64 {
+	tt.accrueSlots()
+	return tt.mapSlotIntegral
+}
+
+// ReduceSlotIntegral returns the node's accumulated occupied-reduce-slot
+// seconds up to now.
+func (tt *TaskTracker) ReduceSlotIntegral() float64 {
+	tt.accrueSlots()
+	return tt.reduceSlotIntegral
+}
 
 // JobTracker is the server-side daemon managing job lifecycles: it
 // accepts submissions, hands splits to trackers via the pluggable
@@ -183,6 +235,11 @@ func (jt *JobTracker) Scheduler() TaskScheduler { return jt.sched }
 
 // Jobs returns all submitted jobs in submission order.
 func (jt *JobTracker) Jobs() []*Job { return jt.jobs }
+
+// TaskTrackers returns the per-node trackers in node-id order, for
+// observability consumers (the obs sampler reads slot occupancy off
+// them). The slice is the tracker's own: callers must not mutate it.
+func (jt *JobTracker) TaskTrackers() []*TaskTracker { return jt.trackers }
 
 // Tracer returns the runtime's tracer, nil when tracing is disabled.
 // trace.Tracer methods are nil-safe, so callers may use the result
@@ -406,20 +463,23 @@ func (jt *JobTracker) Status(j *Job) JobStatus {
 // ClusterStatus snapshots cluster capacity and load.
 func (jt *JobTracker) ClusterStatus() ClusterStatus {
 	queued := 0
+	queuedReduces := 0
 	running := 0
 	for _, j := range jt.jobs {
 		if !j.Done() {
 			running++
 			queued += len(j.pendingMaps)
+			queuedReduces += len(j.pendingReduces)
 		}
 	}
 	return ClusterStatus{
-		TotalMapSlots:    jt.cluster.Cfg.TotalMapSlots(),
-		OccupiedMapSlots: jt.occupiedMapSlots,
-		TotalReduceSlots: jt.cluster.Cfg.Nodes * jt.cluster.Cfg.ReduceSlotsPerNode,
-		OccupiedReduces:  jt.occupiedReduceSlots,
-		RunningJobs:      running,
-		QueuedMapTasks:   queued,
+		TotalMapSlots:     jt.cluster.Cfg.TotalMapSlots(),
+		OccupiedMapSlots:  jt.occupiedMapSlots,
+		TotalReduceSlots:  jt.cluster.Cfg.Nodes * jt.cluster.Cfg.ReduceSlotsPerNode,
+		OccupiedReduces:   jt.occupiedReduceSlots,
+		RunningJobs:       running,
+		QueuedMapTasks:    queued,
+		QueuedReduceTasks: queuedReduces,
 	}
 }
 

@@ -36,6 +36,9 @@ type ClusterStatus struct {
 	OccupiedReduces  int
 	RunningJobs      int
 	QueuedMapTasks   int
+	// QueuedReduceTasks counts reduce partitions whose jobs have entered
+	// the reduce phase but which are not yet running on a slot.
+	QueuedReduceTasks int
 }
 
 // AvailableMapSlots returns total minus occupied ("AS").

@@ -91,7 +91,7 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 	}
 	t.running = append(t.running, att)
 
-	tt.mapUsed++
+	tt.changeMapSlots(+1)
 	jt.changeMapSlots(+1)
 	jt.emit(TaskEvent{Type: EventMapStarted, JobID: j.ID, TaskIndex: t.Index,
 		Node: tt.node.ID, Attempt: t.Attempts, Speculative: speculative})
@@ -196,7 +196,7 @@ func (jt *JobTracker) releaseAttempt(att *mapAttempt) {
 		delete(t.Job.runningMaps, t)
 		t.Node = -1
 	}
-	att.tt.mapUsed--
+	att.tt.changeMapSlots(-1)
 	jt.changeMapSlots(-1)
 }
 
@@ -424,7 +424,7 @@ func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
 	j.runningReduces[t] = struct{}{}
 	t.Attempts++
 	t.Node = tt.node.ID
-	tt.reduceUsed++
+	tt.changeReduceSlots(+1)
 	jt.occupiedReduceSlots++
 	jt.emit(TaskEvent{Type: EventReduceStarted, JobID: j.ID, TaskIndex: t.Index,
 		Node: tt.node.ID, Attempt: t.Attempts})
@@ -485,7 +485,7 @@ func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
 				Start: attStart, End: jt.eng.Now(), Job: j.ID, Task: t.Index, Attempt: attNo,
 				Node: tt.node.ID, Outcome: trace.OutcomeFailed})
 			jt.failJob(j, fmt.Sprintf("reduce task %d failed: %v", t.Index, err))
-			tt.reduceUsed--
+			tt.changeReduceSlots(-1)
 			jt.occupiedReduceSlots--
 			delete(j.runningReduces, t)
 			jt.assign(tt)
@@ -544,7 +544,7 @@ func (jt *JobTracker) execReducer(t *ReduceTask, chunks []mapChunk) (*Collector,
 func (jt *JobTracker) finishReduce(tt *TaskTracker, t *ReduceTask) {
 	j := t.Job
 	delete(j.runningReduces, t)
-	tt.reduceUsed--
+	tt.changeReduceSlots(-1)
 	jt.occupiedReduceSlots--
 	if j.Done() {
 		jt.assign(tt)

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sort"
+
+	"dynamicmr/internal/trace"
+)
+
+// GanttBar is one attempt's occupancy of a slot lane on a node.
+type GanttBar struct {
+	// Node is the node the attempt ran on.
+	Node int
+	// Lane is the slot lane within the node's kind group (greedy
+	// assignment: the lowest lane free at the bar's start).
+	Lane int
+	// Kind is "map" or "reduce".
+	Kind string
+	// Start and End bound the attempt in virtual seconds.
+	Start, End float64
+	// Job, Task, Attempt identify the attempt.
+	Job, Task, Attempt int
+	// Outcome is the attempt outcome (trace.Outcome* constant).
+	Outcome string
+	// Speculative marks backup attempts.
+	Speculative bool
+}
+
+// Gantt is the slot-occupancy chart data: bars in (node, lane, start)
+// order plus the lane count per node so renderers can allocate rows.
+type Gantt struct {
+	Bars []GanttBar
+	// Lanes maps node id to the number of lanes used on that node
+	// (map and reduce lanes combined; reduce lanes follow map lanes).
+	Lanes map[int]int
+	// MapLanes maps node id to the number of map lanes, which is also
+	// the lane offset of the node's first reduce lane.
+	MapLanes map[int]int
+}
+
+// BuildGantt joins the trace's map-attempt and reduce-attempt spans
+// with their node placement into slot lanes: within one node, map
+// attempts greedily pack the lowest free map lane and reduce attempts
+// the lowest free reduce lane (reduce lanes numbered after the node's
+// map lanes). Because an attempt occupies a slot for exactly its span,
+// the number of lanes never exceeds the node's configured slot count.
+func BuildGantt(spans []trace.Span) Gantt {
+	var bars []GanttBar
+	for _, s := range spans {
+		var kind string
+		switch s.Name {
+		case trace.SpanMapAttempt:
+			kind = "map"
+		case trace.SpanReduceAttempt:
+			kind = "reduce"
+		default:
+			continue
+		}
+		if s.Node < 0 {
+			continue
+		}
+		bars = append(bars, GanttBar{
+			Node: s.Node, Kind: kind, Start: s.Start, End: s.End,
+			Job: s.Job, Task: s.Task, Attempt: s.Attempt,
+			Outcome: s.Outcome, Speculative: s.Speculative,
+		})
+	}
+	sort.SliceStable(bars, func(i, j int) bool {
+		if bars[i].Node != bars[j].Node {
+			return bars[i].Node < bars[j].Node
+		}
+		if bars[i].Start != bars[j].Start {
+			return bars[i].Start < bars[j].Start
+		}
+		return bars[i].End < bars[j].End
+	})
+
+	// Greedy lane assignment per (node, kind): track each lane's last
+	// end time; a bar takes the lowest lane that is free at its start.
+	type key struct {
+		node int
+		kind string
+	}
+	laneEnds := map[key][]float64{}
+	const eps = 1e-9
+	for i := range bars {
+		k := key{bars[i].Node, bars[i].Kind}
+		ends := laneEnds[k]
+		lane := -1
+		for l, end := range ends {
+			if end <= bars[i].Start+eps {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(ends)
+			ends = append(ends, 0)
+		}
+		ends[lane] = bars[i].End
+		laneEnds[k] = ends
+		bars[i].Lane = lane
+	}
+
+	g := Gantt{Bars: bars, Lanes: map[int]int{}, MapLanes: map[int]int{}}
+	for k, ends := range laneEnds {
+		if k.kind == "map" {
+			g.MapLanes[k.node] = len(ends)
+		}
+	}
+	// Offset reduce lanes past the node's map lanes and total up.
+	for i := range g.Bars {
+		if g.Bars[i].Kind == "reduce" {
+			g.Bars[i].Lane += g.MapLanes[g.Bars[i].Node]
+		}
+	}
+	for k, ends := range laneEnds {
+		n := len(ends)
+		if k.kind == "reduce" {
+			n += g.MapLanes[k.node]
+		}
+		if n > g.Lanes[k.node] {
+			g.Lanes[k.node] = n
+		}
+	}
+	return g
+}

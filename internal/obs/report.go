@@ -1,0 +1,677 @@
+package obs
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"dynamicmr/internal/trace"
+)
+
+// Report is the self-contained HTML run report: per-node utilization
+// timelines, the slot-occupancy Gantt, policy-decision overlay markers,
+// and the registry's counters — everything inlined (no external assets)
+// so the file can be archived as a CI artifact or mailed around.
+type Report struct {
+	// Title heads the report.
+	Title string
+	// Params are free-form key/value rows shown under the title (the
+	// run's configuration: policy, scale, skew...).
+	Params [][2]string
+
+	Snaps     []Snapshot
+	Gantt     Gantt
+	Decisions []trace.PolicyDecision
+	Policies  []PolicyState
+	Counters  map[string]int64
+	// Dropped counts spans evicted from the trace ring; when non-zero
+	// the Gantt is incomplete and the report says so.
+	Dropped  int64
+	Interval float64
+	// TotalSnaps is the sampler's full series length before thinning;
+	// the data table notes when Snaps is a stride of it.
+	TotalSnaps int
+}
+
+// maxReportSamples bounds the chart paths and the data table: longer
+// runs are strided down to roughly this many snapshots (the last one
+// always kept) so paper-scale reports stay a viewable size. Full
+// fidelity remains available through the sampler's CSV writers.
+const maxReportSamples = 600
+
+// thinSnaps strides snaps down to at most maxReportSamples+1 entries.
+func thinSnaps(snaps []Snapshot) []Snapshot {
+	if len(snaps) <= maxReportSamples {
+		return snaps
+	}
+	stride := (len(snaps) + maxReportSamples - 1) / maxReportSamples
+	out := make([]Snapshot, 0, maxReportSamples+1)
+	for i := 0; i < len(snaps); i += stride {
+		out = append(out, snaps[i])
+	}
+	if last := snaps[len(snaps)-1]; out[len(out)-1].Time != last.Time {
+		out = append(out, last)
+	}
+	return out
+}
+
+// NewReport assembles a report from the sampler's recorded state and
+// its tracker's tracer (spans, decisions, counters). Pass params for
+// the run-configuration rows.
+func NewReport(title string, s *Sampler, params [][2]string) *Report {
+	tr := s.jt.Tracer()
+	s.foldPolicyDecisions()
+	snaps := s.Snapshots()
+	return &Report{
+		Title:      title,
+		Params:     params,
+		Snaps:      thinSnaps(snaps),
+		Gantt:      BuildGantt(tr.Spans()),
+		Decisions:  tr.PolicyDecisions(),
+		Policies:   s.policySnapshot(),
+		Counters:   tr.Counters(),
+		Dropped:    tr.Dropped(),
+		Interval:   s.interval,
+		TotalSnaps: len(snaps),
+	}
+}
+
+// esc escapes text for HTML and attribute contexts.
+func esc(s string) string { return html.EscapeString(s) }
+
+// fnum trims a float for display.
+func fnum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// point is one (time, value) vertex of a chart series.
+type point struct{ x, y float64 }
+
+// series is one named line on a chart; colorVar is the CSS custom
+// property carrying its stroke ("--series-1"...).
+type series struct {
+	name     string
+	colorVar string
+	pts      []point
+}
+
+// marker is a vertical overlay line (policy decision) on a chart.
+type marker struct {
+	x     float64
+	label string
+	class string // "grow" or "eoi"
+}
+
+// chartGeom is the shared plot geometry.
+type chartGeom struct {
+	w, h                     float64
+	left, right, top, bottom float64
+	xmax, ymax               float64
+}
+
+func (g chartGeom) plotW() float64 { return g.w - g.left - g.right }
+func (g chartGeom) plotH() float64 { return g.h - g.top - g.bottom }
+func (g chartGeom) px(x float64) float64 {
+	if g.xmax <= 0 {
+		return g.left
+	}
+	return g.left + x/g.xmax*g.plotW()
+}
+func (g chartGeom) py(y float64) float64 {
+	if g.ymax <= 0 {
+		return g.h - g.bottom
+	}
+	return g.h - g.bottom - y/g.ymax*g.plotH()
+}
+
+// niceMax rounds v up to a tidy axis maximum.
+func niceMax(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// writeLineChart renders one SVG line chart with a 10% area wash under
+// each series, hairline gridlines, one y axis, and per-vertex hover
+// titles. yUnit annotates tick labels ("%" or "KB/s" or "").
+func writeLineChart(b *strings.Builder, ss []series, markers []marker, g chartGeom, yUnit string) {
+	fmt.Fprintf(b, `<svg viewBox="0 0 %g %g" role="img" preserveAspectRatio="xMidYMid meet">`, g.w, g.h)
+	// Gridlines + y ticks.
+	for i := 0; i <= 4; i++ {
+		yv := g.ymax * float64(i) / 4
+		y := g.py(yv)
+		fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" class="grid"/>`, g.left, y, g.w-g.right, y)
+		fmt.Fprintf(b, `<text x="%g" y="%g" class="tick" text-anchor="end">%s%s</text>`,
+			g.left-6, y+3.5, fnum(yv), yUnit)
+	}
+	// X ticks.
+	for i := 0; i <= 5; i++ {
+		xv := g.xmax * float64(i) / 5
+		x := g.px(xv)
+		fmt.Fprintf(b, `<text x="%g" y="%g" class="tick" text-anchor="middle">%ss</text>`,
+			x, g.h-g.bottom+14, fnum(xv))
+	}
+	// Baseline.
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" class="baseline"/>`,
+		g.left, g.py(0), g.w-g.right, g.py(0))
+	// Decision markers under the series.
+	for _, m := range markers {
+		x := g.px(m.x)
+		fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" class="mark-%s"><title>%s</title></line>`,
+			x, g.top, x, g.h-g.bottom, m.class, esc(m.label))
+	}
+	for _, s := range ss {
+		if len(s.pts) == 0 {
+			continue
+		}
+		var line, area strings.Builder
+		for i, p := range s.pts {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&line, "%s%.2f %.2f", cmd, g.px(p.x), g.py(clampY(p.y, g.ymax)))
+		}
+		first, last := s.pts[0], s.pts[len(s.pts)-1]
+		fmt.Fprintf(&area, "%sL%.2f %.2fL%.2f %.2fZ",
+			line.String(), g.px(last.x), g.py(0), g.px(first.x), g.py(0))
+		fmt.Fprintf(b, `<path d="%s" fill="var(%s)" fill-opacity="0.1" stroke="none"/>`, area.String(), s.colorVar)
+		fmt.Fprintf(b, `<path d="%s" fill="none" stroke="var(%s)" stroke-width="2" stroke-linejoin="round"/>`,
+			line.String(), s.colorVar)
+		// Hover targets: invisible wide circles with titles.
+		for _, p := range s.pts {
+			fmt.Fprintf(b, `<circle cx="%.2f" cy="%.2f" r="7" fill="transparent"><title>%s · t=%ss · %s%s</title></circle>`,
+				g.px(p.x), g.py(clampY(p.y, g.ymax)), esc(s.name), fnum(p.x), fnum(p.y), yUnit)
+		}
+	}
+	b.WriteString(`</svg>`)
+}
+
+func clampY(v, ymax float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > ymax {
+		return ymax
+	}
+	return v
+}
+
+// legend renders the series legend row (always present for >= 2
+// series; swatches carry color, text wears ink tokens).
+func legend(b *strings.Builder, ss []series) {
+	if len(ss) < 2 {
+		return
+	}
+	b.WriteString(`<div class="legend">`)
+	for _, s := range ss {
+		fmt.Fprintf(b, `<span class="key"><span class="swatch" style="background:var(%s)"></span>%s</span>`,
+			s.colorVar, esc(s.name))
+	}
+	b.WriteString(`</div>`)
+}
+
+// xMax returns the report's shared time-axis extent.
+func (r *Report) xMax() float64 {
+	x := r.Interval
+	for _, s := range r.Snaps {
+		if s.Time > x {
+			x = s.Time
+		}
+	}
+	for _, bar := range r.Gantt.Bars {
+		if bar.End > x {
+			x = bar.End
+		}
+	}
+	return x
+}
+
+// decisionMarkers thins the audit log to chart overlays: every GROW
+// (capped) plus the EOI, which closes the job's input.
+func (r *Report) decisionMarkers() []marker {
+	var ms []marker
+	for _, d := range r.Decisions {
+		switch d.Verdict {
+		case trace.VerdictGrow, trace.VerdictInit:
+			ms = append(ms, marker{x: d.Time, class: "grow",
+				label: fmt.Sprintf("%s job %d +%d splits (limit %d) @ %ss", d.Policy, d.JobID, d.Added, d.GrabLimit, fnum(d.Time))})
+		case trace.VerdictEOI:
+			ms = append(ms, marker{x: d.Time, class: "eoi",
+				label: fmt.Sprintf("%s job %d end of input @ %ss", d.Policy, d.JobID, fnum(d.Time))})
+		}
+	}
+	const capMarkers = 120
+	if len(ms) > capMarkers {
+		step := (len(ms) + capMarkers - 1) / capMarkers
+		thin := ms[:0]
+		for i := 0; i < len(ms); i += step {
+			thin = append(thin, ms[i])
+		}
+		ms = thin
+	}
+	return ms
+}
+
+// WriteHTML renders the self-contained report.
+func (r *Report) WriteHTML(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", esc(r.Title))
+	b.WriteString(reportCSS)
+	b.WriteString("</head>\n<body>\n<div class=\"viz-root\">\n")
+
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(r.Title))
+	if len(r.Params) > 0 {
+		b.WriteString(`<dl class="params">`)
+		for _, kv := range r.Params {
+			fmt.Fprintf(&b, `<div><dt>%s</dt><dd>%s</dd></div>`, esc(kv[0]), esc(kv[1]))
+		}
+		b.WriteString("</dl>\n")
+	}
+
+	xmax := r.xMax()
+	markers := r.decisionMarkers()
+	wide := chartGeom{w: 920, h: 230, left: 52, right: 16, top: 12, bottom: 26, xmax: xmax, ymax: 100}
+
+	// Cluster utilization (percent scale, one axis).
+	util := []series{
+		{name: "CPU util", colorVar: "--series-1"},
+		{name: "Map slots", colorVar: "--series-2"},
+		{name: "Reduce slots", colorVar: "--series-3"},
+	}
+	var disk series
+	disk = series{name: "Disk read", colorVar: "--series-1"}
+	var queued []series
+	queued = []series{
+		{name: "Queued maps", colorVar: "--series-1"},
+		{name: "Queued reduces", colorVar: "--series-2"},
+	}
+	var diskMax, queueMax float64
+	for _, s := range r.Snaps {
+		util[0].pts = append(util[0].pts, point{s.Time, s.CPUUtilPct})
+		util[1].pts = append(util[1].pts, point{s.Time, s.MapSlotPct})
+		util[2].pts = append(util[2].pts, point{s.Time, s.ReduceSlotPct})
+		disk.pts = append(disk.pts, point{s.Time, s.DiskReadKBs})
+		queued[0].pts = append(queued[0].pts, point{s.Time, float64(s.QueuedMaps)})
+		queued[1].pts = append(queued[1].pts, point{s.Time, float64(s.QueuedReduces)})
+		diskMax = math.Max(diskMax, s.DiskReadKBs)
+		queueMax = math.Max(queueMax, math.Max(float64(s.QueuedMaps), float64(s.QueuedReduces)))
+	}
+
+	b.WriteString("<section>\n<h2>Cluster utilization</h2>\n")
+	fmt.Fprintf(&b, "<p class=\"note\">Interval means over %ss virtual-clock samples; vertical markers are Input Provider decisions (grow / end-of-input).</p>\n", fnum(r.Interval))
+	legend(&b, util)
+	writeLineChart(&b, util, markers, wide, "%")
+	b.WriteString("\n<h3>Disk read (per-disk mean)</h3>\n")
+	dg := wide
+	dg.h = 170
+	dg.ymax = niceMax(diskMax)
+	writeLineChart(&b, []series{disk}, nil, dg, "")
+	b.WriteString("\n<h3>Queue depth</h3>\n")
+	qg := wide
+	qg.h = 170
+	qg.ymax = niceMax(queueMax)
+	legend(&b, queued)
+	writeLineChart(&b, queued, nil, qg, "")
+	b.WriteString("</section>\n")
+
+	// Per-policy splits granted (the growth curves that differentiate
+	// LA from Hadoop).
+	r.writeGrowthSection(&b, wide)
+
+	// Per-node small multiples.
+	r.writeNodeSection(&b, xmax)
+
+	// Slot-occupancy Gantt.
+	r.writeGanttSection(&b, xmax, markers)
+
+	// Policy summary + counters + data table.
+	r.writePolicyTable(&b)
+	r.writeDataTable(&b)
+	r.writeCounters(&b)
+
+	b.WriteString("</div>\n</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeGrowthSection charts cumulative splits granted per policy.
+func (r *Report) writeGrowthSection(b *strings.Builder, g chartGeom) {
+	if len(r.Decisions) == 0 {
+		return
+	}
+	// Cumulative Added per policy over time.
+	order := []string{}
+	cum := map[string]int{}
+	pts := map[string][]point{}
+	for _, d := range r.Decisions {
+		if _, ok := cum[d.Policy]; !ok {
+			order = append(order, d.Policy)
+		}
+		cum[d.Policy] += d.Added
+		pts[d.Policy] = append(pts[d.Policy], point{d.Time, float64(cum[d.Policy])})
+	}
+	var ss []series
+	var ymax float64
+	for i, p := range order {
+		if i >= 8 {
+			break // categorical palette is eight slots; fold the rest away
+		}
+		s := series{name: p, colorVar: fmt.Sprintf("--series-%d", i+1), pts: pts[p]}
+		ss = append(ss, s)
+		ymax = math.Max(ymax, float64(cum[p]))
+	}
+	g.ymax = niceMax(ymax)
+	g.h = 200
+	b.WriteString("<section>\n<h2>Input growth (splits granted)</h2>\n")
+	legend(b, ss)
+	writeLineChart(b, ss, nil, g, "")
+	b.WriteString("</section>\n")
+}
+
+// writeNodeSection renders per-node small multiples: CPU and map-slot
+// occupancy per node on a shared percent axis.
+func (r *Report) writeNodeSection(b *strings.Builder, xmax float64) {
+	if len(r.Snaps) == 0 || len(r.Snaps[0].Nodes) == 0 {
+		return
+	}
+	n := len(r.Snaps[0].Nodes)
+	b.WriteString("<section>\n<h2>Per-node utilization</h2>\n")
+	legend(b, []series{
+		{name: "CPU util", colorVar: "--series-1"},
+		{name: "Map slots", colorVar: "--series-2"},
+	})
+	b.WriteString(`<div class="multiples">`)
+	for i := 0; i < n; i++ {
+		cpu := series{name: "CPU util", colorVar: "--series-1"}
+		slot := series{name: "Map slots", colorVar: "--series-2"}
+		for _, s := range r.Snaps {
+			if i < len(s.Nodes) {
+				cpu.pts = append(cpu.pts, point{s.Time, s.Nodes[i].CPUUtilPct})
+				slot.pts = append(slot.pts, point{s.Time, s.Nodes[i].MapSlotPct})
+			}
+		}
+		fmt.Fprintf(b, `<figure><figcaption>node %d</figcaption>`, i)
+		writeLineChart(b, []series{cpu, slot}, nil,
+			chartGeom{w: 300, h: 120, left: 34, right: 8, top: 6, bottom: 20, xmax: xmax, ymax: 100}, "")
+		b.WriteString(`</figure>`)
+	}
+	b.WriteString("</div>\n</section>\n")
+}
+
+// writeGanttSection renders the slot-occupancy Gantt: one lane per
+// slot, map attempts in slot order, reduce attempts below them, with
+// outcome-coded bars and decision markers.
+func (r *Report) writeGanttSection(b *strings.Builder, xmax float64, markers []marker) {
+	if len(r.Gantt.Bars) == 0 {
+		return
+	}
+	b.WriteString("<section>\n<h2>Slot occupancy</h2>\n")
+	if r.Dropped > 0 {
+		fmt.Fprintf(b, "<p class=\"note\">⚠ %d spans were evicted from the trace ring; the oldest attempts are missing from this chart.</p>\n", r.Dropped)
+	}
+	b.WriteString(`<div class="legend">` +
+		`<span class="key"><span class="swatch" style="background:var(--series-1)"></span>map attempt</span>` +
+		`<span class="key"><span class="swatch" style="background:var(--series-2)"></span>reduce attempt</span>` +
+		`<span class="key"><span class="swatch" style="background:var(--status-critical)"></span>failed</span>` +
+		`<span class="key"><span class="swatch" style="background:var(--status-serious)"></span>killed</span>` +
+		"</div>\n")
+
+	const laneH, nodeGap, top, bottom, left, right, width = 8.0, 10.0, 8.0, 26.0, 52.0, 16.0, 920.0
+	// Node order and lane offsets.
+	nodes := make([]int, 0, len(r.Gantt.Lanes))
+	for n := range r.Gantt.Lanes {
+		nodes = append(nodes, n)
+	}
+	sortInts(nodes)
+	offset := map[int]float64{}
+	y := top
+	for _, n := range nodes {
+		offset[n] = y
+		y += float64(r.Gantt.Lanes[n])*laneH + nodeGap
+	}
+	height := y - nodeGap + bottom
+	g := chartGeom{w: width, h: height, left: left, right: right, top: top, bottom: bottom, xmax: xmax, ymax: 1}
+
+	fmt.Fprintf(b, `<svg viewBox="0 0 %g %g" role="img" preserveAspectRatio="xMidYMid meet">`, width, height)
+	for i := 0; i <= 5; i++ {
+		xv := xmax * float64(i) / 5
+		x := g.px(xv)
+		fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" class="grid"/>`, x, top, x, height-bottom)
+		fmt.Fprintf(b, `<text x="%g" y="%g" class="tick" text-anchor="middle">%ss</text>`, x, height-bottom+14, fnum(xv))
+	}
+	for _, m := range markers {
+		x := g.px(m.x)
+		fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" class="mark-%s"><title>%s</title></line>`,
+			x, top, x, height-bottom, m.class, esc(m.label))
+	}
+	for _, n := range nodes {
+		fmt.Fprintf(b, `<text x="%g" y="%g" class="tick" text-anchor="end">n%d</text>`,
+			left-6, offset[n]+float64(r.Gantt.Lanes[n])*laneH/2+3, n)
+	}
+	const maxBars = 20000
+	bars := r.Gantt.Bars
+	truncated := false
+	if len(bars) > maxBars {
+		bars, truncated = bars[:maxBars], true
+	}
+	for _, bar := range bars {
+		x0, x1 := g.px(bar.Start), g.px(bar.End)
+		if x1-x0 < 0.75 {
+			x1 = x0 + 0.75
+		}
+		fill := "var(--series-1)"
+		if bar.Kind == "reduce" {
+			fill = "var(--series-2)"
+		}
+		switch bar.Outcome {
+		case trace.OutcomeFailed:
+			fill = "var(--status-critical)"
+		case trace.OutcomeKilled:
+			fill = "var(--status-serious)"
+		}
+		opacity := ""
+		if bar.Speculative {
+			opacity = ` fill-opacity="0.55"`
+		}
+		spec := ""
+		if bar.Speculative {
+			spec = " (speculative)"
+		}
+		outcome := bar.Outcome
+		if outcome == "" {
+			outcome = "ok"
+		}
+		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%g" rx="1.5" fill="%s"%s><title>%s job %d task %d attempt %d%s [%s] %s–%ss</title></rect>`,
+			x0, offset[bar.Node]+float64(bar.Lane)*laneH+1, x1-x0, laneH-2, fill, opacity,
+			bar.Kind, bar.Job, bar.Task, bar.Attempt, spec, outcome, fnum(bar.Start), fnum(bar.End))
+	}
+	b.WriteString("</svg>\n")
+	if truncated {
+		fmt.Fprintf(b, "<p class=\"note\">Showing the first %d of %d attempts.</p>\n", maxBars, len(r.Gantt.Bars))
+	}
+	b.WriteString("</section>\n")
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func (r *Report) writePolicyTable(b *strings.Builder) {
+	if len(r.Policies) == 0 {
+		return
+	}
+	b.WriteString("<section>\n<h2>Input Provider state</h2>\n<table>\n<thead><tr>" +
+		"<th>policy</th><th>evaluations</th><th>splits granted</th><th>last verdict</th>" +
+		"<th>grab limit</th><th>work threshold</th><th>headroom</th></tr></thead>\n<tbody>\n")
+	for _, p := range r.Policies {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td>%d</td><td>%s%%</td><td>%s%%</td></tr>\n",
+			esc(p.Policy), p.Evaluations, p.SplitsGranted, esc(p.LastVerdict), p.GrabLimit,
+			fnum(p.WorkThresholdPct), fnum(p.HeadroomPct))
+	}
+	b.WriteString("</tbody>\n</table>\n</section>\n")
+}
+
+// writeDataTable is the accessibility table view of the cluster series.
+func (r *Report) writeDataTable(b *strings.Builder) {
+	if len(r.Snaps) == 0 {
+		return
+	}
+	summary := "Data table (cluster samples)"
+	if r.TotalSnaps > len(r.Snaps) {
+		summary = fmt.Sprintf("Data table (%d of %d cluster samples — strided; CSVs carry the full series)",
+			len(r.Snaps), r.TotalSnaps)
+	}
+	b.WriteString("<details>\n<summary>" + esc(summary) + "</summary>\n<table>\n<thead><tr>" +
+		"<th>t (s)</th><th>CPU %</th><th>disk KB/s</th><th>net %</th><th>map slots %</th>" +
+		"<th>reduce slots %</th><th>queued maps</th><th>queued reduces</th><th>jobs</th></tr></thead>\n<tbody>\n")
+	for _, s := range r.Snaps {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			fnum(s.Time), fnum(s.CPUUtilPct), fnum(s.DiskReadKBs), fnum(s.NetworkUtilPct),
+			fnum(s.MapSlotPct), fnum(s.ReduceSlotPct), s.QueuedMaps, s.QueuedReduces, s.RunningJobs)
+	}
+	b.WriteString("</tbody>\n</table>\n</details>\n")
+}
+
+func (r *Report) writeCounters(b *strings.Builder) {
+	if len(r.Counters) == 0 {
+		return
+	}
+	names := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		names = append(names, k)
+	}
+	sortStrings(names)
+	b.WriteString("<details>\n<summary>Counters</summary>\n<table>\n<tbody>\n")
+	for _, k := range names {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>\n", esc(k), r.Counters[k])
+	}
+	b.WriteString("</tbody>\n</table>\n</details>\n")
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// reportCSS carries the palette as CSS custom properties: light values
+// on .viz-root, dark values under both the OS media query and an
+// explicit data-theme toggle scope.
+const reportCSS = `<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --series-6: #008300;
+  --series-7: #4a3aa7;
+  --series-8: #e34948;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary);
+  background: var(--page);
+  margin: 0 auto;
+  padding: 24px;
+  max-width: 980px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+    --series-6: #008300;
+    --series-7: #9085e9;
+    --series-8: #e66767;
+    --status-serious: #ec835a;
+    --status-critical: #d03b3b;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #c98500;
+  --series-5: #d55181;
+  --series-6: #008300;
+  --series-7: #9085e9;
+  --series-8: #e66767;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+}
+body { margin: 0; background: var(--page); }
+.viz-root h1 { font-size: 20px; margin: 0 0 8px; }
+.viz-root h2 { font-size: 16px; margin: 24px 0 4px; }
+.viz-root h3 { font-size: 13px; color: var(--text-secondary); margin: 14px 0 4px; font-weight: 600; }
+.viz-root .note { color: var(--text-secondary); font-size: 12.5px; margin: 2px 0 8px; }
+.viz-root section { background: var(--surface-1); border: 1px solid var(--grid); border-radius: 8px; padding: 12px 16px 16px; margin: 14px 0; }
+.viz-root svg { display: block; width: 100%; height: auto; }
+.viz-root .grid { stroke: var(--grid); stroke-width: 1; }
+.viz-root .baseline { stroke: var(--baseline); stroke-width: 1; }
+.viz-root .tick { fill: var(--text-muted); font-size: 10px; font-variant-numeric: tabular-nums; }
+.viz-root .mark-grow { stroke: var(--text-muted); stroke-width: 1; stroke-dasharray: 2 3; }
+.viz-root .mark-eoi { stroke: var(--text-secondary); stroke-width: 1.5; }
+.viz-root .legend { display: flex; flex-wrap: wrap; gap: 14px; margin: 6px 0; }
+.viz-root .key { display: inline-flex; align-items: center; gap: 6px; color: var(--text-secondary); font-size: 12.5px; }
+.viz-root .swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.viz-root .params { display: flex; flex-wrap: wrap; gap: 6px 22px; margin: 0 0 6px; }
+.viz-root .params div { display: flex; gap: 6px; }
+.viz-root .params dt { color: var(--text-muted); }
+.viz-root .params dd { margin: 0; color: var(--text-secondary); font-variant-numeric: tabular-nums; }
+.viz-root .multiples { display: grid; grid-template-columns: repeat(auto-fill, minmax(260px, 1fr)); gap: 10px; }
+.viz-root figure { margin: 0; }
+.viz-root figcaption { color: var(--text-muted); font-size: 11.5px; margin-bottom: 2px; }
+.viz-root table { border-collapse: collapse; font-size: 12.5px; font-variant-numeric: tabular-nums; }
+.viz-root th { text-align: left; color: var(--text-secondary); font-weight: 600; }
+.viz-root th, .viz-root td { padding: 3px 14px 3px 0; border-bottom: 1px solid var(--grid); }
+.viz-root details { margin: 12px 0; color: var(--text-secondary); }
+.viz-root summary { cursor: pointer; }
+</style>
+`

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/sim"
+	"dynamicmr/internal/trace"
+)
+
+var schema = data.NewSchema("V")
+
+func rig(t *testing.T, traced bool) (*sim.Engine, *cluster.Cluster, *dfs.DFS, *mapreduce.JobTracker) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	cfg := mapreduce.DefaultConfig()
+	if traced {
+		cfg.Trace = trace.Config{Enabled: true}
+	}
+	return eng, cl, dfs.New(cl), mapreduce.NewJobTracker(cl, cfg, nil)
+}
+
+func mkFile(t *testing.T, fs *dfs.DFS, name string, blocks, recs int) *dfs.File {
+	t.Helper()
+	var srcs []data.Source
+	for b := 0; b < blocks; b++ {
+		rr := make([]data.Record, recs)
+		for i := range rr {
+			rr[i] = data.NewRecord(schema, []data.Value{data.Int(int64(i))})
+		}
+		srcs = append(srcs, data.NewSliceSource(schema, rr))
+	}
+	f, err := fs.Create(name, srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func nopMapper(*mapreduce.JobConf) mapreduce.Mapper {
+	return mapreduce.MapperFunc(func(data.Record, *mapreduce.Collector) error { return nil })
+}
+
+// TestSlotIntegralMatchesSpanDurations is the satellite cross-check:
+// the sampled per-node slot-occupancy series, integrated back to
+// occupied-slot-seconds, must agree with the sum of the trace's
+// map-attempt span durations — an attempt holds exactly one slot from
+// startAttempt to release, which is exactly its enclosing span.
+func TestSlotIntegralMatchesSpanDurations(t *testing.T) {
+	eng, _, fs, jt := rig(t, true)
+	f := mkFile(t, fs, "in", 30, 400)
+
+	s := NewSampler(jt, Config{IntervalS: 7})
+	s.Start()
+	job := jt.Submit(mapreduce.JobSpec{NewMapper: nopMapper}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	// Run past the next sample boundary so the tail interval lands.
+	eng.RunUntil(eng.Now() + 2*s.Interval())
+
+	var spanSeconds float64
+	for _, sp := range jt.Tracer().Spans() {
+		if sp.Name == trace.SpanMapAttempt {
+			spanSeconds += sp.Duration()
+		}
+	}
+	if spanSeconds == 0 {
+		t.Fatal("no map-attempt spans recorded")
+	}
+
+	// Integrate per-node occupancy: pct/100 * slots * dt, summed over
+	// nodes and samples.
+	var sampled float64
+	lastT := 0.0
+	for _, snap := range s.Snapshots() {
+		dt := snap.Time - lastT
+		lastT = snap.Time
+		for _, ns := range snap.Nodes {
+			sampled += ns.MapSlotPct / 100 * float64(ns.MapSlots) * dt
+		}
+	}
+	if math.Abs(sampled-spanSeconds) > 1e-6*spanSeconds+1e-9 {
+		t.Fatalf("sampled slot integral %.9f != span duration sum %.9f", sampled, spanSeconds)
+	}
+
+	// The cluster-level series must integrate to the same value.
+	var clusterInt float64
+	lastT = 0
+	for _, snap := range s.Snapshots() {
+		dt := snap.Time - lastT
+		lastT = snap.Time
+		clusterInt += snap.MapSlotPct / 100 * float64(snap.TotalMapSlots) * dt
+	}
+	if math.Abs(clusterInt-spanSeconds) > 1e-6*spanSeconds+1e-9 {
+		t.Fatalf("cluster slot integral %.9f != span duration sum %.9f", clusterInt, spanSeconds)
+	}
+
+	// And both must agree with the JobTracker's own integral.
+	if jtInt := jt.MapSlotOccupancyIntegral(); math.Abs(jtInt-spanSeconds) > 1e-6*spanSeconds+1e-9 {
+		t.Fatalf("JobTracker slot integral %.9f != span duration sum %.9f", jtInt, spanSeconds)
+	}
+}
+
+// TestSamplerDoesNotPerturbSimulation: the same run with and without a
+// sampler must finish at the same virtual time with the same event
+// outcomes (enabling obs never changes results).
+func TestSamplerDoesNotPerturbSimulation(t *testing.T) {
+	run := func(sample bool) (finish float64, output int) {
+		eng, _, fs, jt := rig(t, false)
+		f := mkFile(t, fs, "in", 24, 300)
+		if sample {
+			s := NewSampler(jt, Config{IntervalS: 3})
+			s.Start()
+		}
+		job := jt.Submit(mapreduce.JobSpec{NewMapper: nopMapper}, mapreduce.SplitsForFile(f))
+		mapreduce.RunUntilDone(eng, job, 1e6)
+		return job.FinishTime, len(job.Output())
+	}
+	offT, offN := run(false)
+	onT, onN := run(true)
+	if offT != onT || offN != onN {
+		t.Fatalf("sampler perturbed the run: finish %v vs %v, output %d vs %d", offT, onT, offN, onN)
+	}
+}
+
+func TestSamplerIdleAndRestart(t *testing.T) {
+	eng, _, _, jt := rig(t, false)
+	s := NewSampler(jt, Config{})
+	if s.Interval() != DefaultIntervalS {
+		t.Fatalf("default interval = %v", s.Interval())
+	}
+	s = NewSampler(jt, Config{IntervalS: 10})
+	s.Start()
+	// Idle engine: nothing schedules events besides the sampler itself.
+	eng.RunUntil(35)
+	snaps := s.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("idle snapshots = %d, want 3", len(snaps))
+	}
+	for _, sn := range snaps {
+		if sn.CPUUtilPct != 0 || sn.MapSlotPct != 0 || sn.QueuedMaps != 0 {
+			t.Fatalf("idle cluster read non-zero: %+v", sn)
+		}
+		if len(sn.Nodes) != 10 {
+			t.Fatalf("snapshot has %d nodes", len(sn.Nodes))
+		}
+	}
+	// Stop invalidates the pending tick; Start rebases cleanly.
+	s.Stop()
+	eng.RunUntil(100)
+	if got := len(s.Snapshots()); got != 3 {
+		t.Fatalf("sampler ticked after Stop: %d snapshots", got)
+	}
+	s.Start()
+	eng.RunUntil(eng.Now() + 25)
+	if got := len(s.Snapshots()); got != 5 {
+		t.Fatalf("restart snapshots = %d, want 5", got)
+	}
+}
+
+func TestNodeCSV(t *testing.T) {
+	eng, _, fs, jt := rig(t, true)
+	f := mkFile(t, fs, "in", 8, 200)
+	s := NewSampler(jt, Config{IntervalS: 5})
+	s.Start()
+	job := jt.Submit(mapreduce.JobSpec{NewMapper: nopMapper}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	eng.RunUntil(eng.Now() + 10)
+
+	var nodeBuf, clusterBuf strings.Builder
+	if err := s.WriteNodeCSV(&nodeBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteClusterCSV(&clusterBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(nodeBuf.String()), "\n")
+	wantRows := len(s.Snapshots())*10 + 1
+	if len(lines) != wantRows {
+		t.Fatalf("node CSV rows = %d, want %d", len(lines), wantRows)
+	}
+	if !strings.HasPrefix(lines[0], "time_s,node,cpu_util_pct") {
+		t.Fatalf("node CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(clusterBuf.String(), "time_s,cpu_util_pct") {
+		t.Fatalf("cluster CSV header = %q", strings.SplitN(clusterBuf.String(), "\n", 2)[0])
+	}
+}
+
+// TestGaugesPublished: sampling with tracing on mirrors cluster-level
+// readings into the tracer's gauge registry.
+func TestGaugesPublished(t *testing.T) {
+	eng, _, fs, jt := rig(t, true)
+	f := mkFile(t, fs, "in", 8, 200)
+	s := NewSampler(jt, Config{IntervalS: 1})
+	s.Start()
+	job := jt.Submit(mapreduce.JobSpec{NewMapper: nopMapper}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	eng.RunUntil(eng.Now() + 2)
+
+	g, ok := jt.Tracer().Gauge(trace.GaugeCPUUtilPct)
+	if !ok {
+		t.Fatal("CPU gauge never set")
+	}
+	if g.Max <= 0 {
+		t.Fatalf("CPU gauge max = %v, want > 0 during a job", g.Max)
+	}
+	if _, ok := jt.Tracer().Gauge(trace.GaugeVirtualTime); !ok {
+		t.Fatal("virtual-time gauge never set")
+	}
+}

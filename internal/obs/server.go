@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dynamicmr/internal/trace"
+)
+
+// Server is the live operational surface: a Prometheus text-exposition
+// /metrics endpoint and a JSON /status, both reading the sampler's
+// recorded state plus instantaneous cluster counters.
+//
+// The simulated runtime is single-threaded, so the driver loop and HTTP
+// scrapes coordinate through the server's mutex: the driver holds Lock
+// while stepping the engine, handlers hold it while reading. A scrape
+// therefore observes a consistent snapshot between simulation bursts
+// (the real-time mapping of the virtual clock is whatever the driver's
+// pacing makes it).
+type Server struct {
+	mu   sync.Mutex
+	samp *Sampler
+}
+
+// NewServer wraps a sampler for serving.
+func NewServer(samp *Sampler) *Server { return &Server{samp: samp} }
+
+// Lock takes the simulation lock; the driver holds it while advancing
+// the engine so scrapes never observe a half-stepped cluster.
+func (s *Server) Lock() { s.mu.Lock() }
+
+// Unlock releases the simulation lock.
+func (s *Server) Unlock() { s.mu.Unlock() }
+
+// Handler returns the HTTP mux serving /metrics and /status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "dynmr observability endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON run status")
+	})
+	return mux
+}
+
+// promFamilies assembles the full exposition set: registry families
+// (counters, gauges, histogram scalars) plus live per-node, queue, and
+// per-policy families derived from the latest snapshot. Caller holds
+// the lock.
+func (s *Server) promFamilies() []trace.PromFamily {
+	jt := s.samp.JobTracker()
+	fams := jt.Tracer().PromFamilies("dynmr.")
+
+	st := jt.ClusterStatus()
+	gauge := func(name, help string, v float64) {
+		fams = append(fams, trace.PromFamily{Name: name, Help: help, Type: trace.PromGauge,
+			Samples: []trace.PromSample{{Value: v}}})
+	}
+	gauge("dynmr.virtual_time_seconds", "Current virtual-clock time.", jt.Engine().Now())
+	gauge("dynmr.map_slots", "Configured cluster map slots.", float64(st.TotalMapSlots))
+	gauge("dynmr.map_slots_occupied", "Occupied map slots.", float64(st.OccupiedMapSlots))
+	gauge("dynmr.reduce_slots", "Configured cluster reduce slots.", float64(st.TotalReduceSlots))
+	gauge("dynmr.reduce_slots_occupied", "Occupied reduce slots.", float64(st.OccupiedReduces))
+	gauge("dynmr.queued_map_tasks", "Scheduled map tasks waiting for a slot.", float64(st.QueuedMapTasks))
+	gauge("dynmr.queued_reduce_tasks", "Reduce partitions waiting for a slot.", float64(st.QueuedReduceTasks))
+	gauge("dynmr.running_jobs", "Jobs submitted and not yet finished.", float64(st.RunningJobs))
+
+	snap, ok := s.samp.Latest()
+	if !ok {
+		return fams
+	}
+	node := func(name, help string, val func(NodeSample) float64) {
+		f := trace.PromFamily{Name: name, Help: help, Type: trace.PromGauge}
+		for _, ns := range snap.Nodes {
+			f.Samples = append(f.Samples, trace.PromSample{
+				Labels: []trace.PromLabel{{Name: "node", Value: fmt.Sprint(ns.Node)}},
+				Value:  val(ns),
+			})
+		}
+		fams = append(fams, f)
+	}
+	node("dynmr.node.cpu_util_pct", "Per-node CPU utilisation over the last sample interval.",
+		func(ns NodeSample) float64 { return ns.CPUUtilPct })
+	node("dynmr.node.disk_read_kb_s", "Per-node mean per-disk transfer rate over the last sample interval.",
+		func(ns NodeSample) float64 { return ns.DiskReadKBs })
+	node("dynmr.node.map_slot_pct", "Per-node map-slot occupancy over the last sample interval.",
+		func(ns NodeSample) float64 { return ns.MapSlotPct })
+	node("dynmr.node.map_slots_used", "Per-node occupied map slots at the last sample.",
+		func(ns NodeSample) float64 { return float64(ns.MapSlotsUsed) })
+	node("dynmr.node.reduce_slots_used", "Per-node occupied reduce slots at the last sample.",
+		func(ns NodeSample) float64 { return float64(ns.ReduceSlotsUsed) })
+
+	if len(snap.Policies) > 0 {
+		granted := trace.PromFamily{Name: "dynmr.policy.splits_granted",
+			Help: "Cumulative input partitions granted by the Input Provider.", Type: trace.PromCounter}
+		evals := trace.PromFamily{Name: "dynmr.policy.evaluations",
+			Help: "Input Provider evaluations recorded.", Type: trace.PromCounter}
+		headroom := trace.PromFamily{Name: "dynmr.policy.headroom_pct",
+			Help: "Last progress percentage minus the policy's work threshold.", Type: trace.PromGauge}
+		for _, ps := range snap.Policies {
+			labels := []trace.PromLabel{{Name: "policy", Value: ps.Policy}}
+			granted.Samples = append(granted.Samples, trace.PromSample{Labels: labels, Value: float64(ps.SplitsGranted)})
+			evals.Samples = append(evals.Samples, trace.PromSample{Labels: labels, Value: float64(ps.Evaluations)})
+			headroom.Samples = append(headroom.Samples, trace.PromSample{Labels: labels, Value: ps.HeadroomPct})
+		}
+		fams = append(fams, granted, evals, headroom)
+	}
+	return fams
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fams := s.promFamilies()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := trace.WritePrometheus(w, fams); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// StatusPayload is the /status JSON document.
+type StatusPayload struct {
+	VirtualTimeS    float64   `json:"virtual_time_s"`
+	ProcessedEvents int64     `json:"processed_events"`
+	RunningJobs     int       `json:"running_jobs"`
+	MapSlots        int       `json:"map_slots"`
+	MapSlotsUsed    int       `json:"map_slots_used"`
+	ReduceSlots     int       `json:"reduce_slots"`
+	ReduceSlotsUsed int       `json:"reduce_slots_used"`
+	QueuedMaps      int       `json:"queued_map_tasks"`
+	QueuedReduces   int       `json:"queued_reduce_tasks"`
+	Samples         int       `json:"samples"`
+	Latest          *Snapshot `json:"latest,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jt := s.samp.JobTracker()
+	st := jt.ClusterStatus()
+	payload := StatusPayload{
+		VirtualTimeS:    jt.Engine().Now(),
+		ProcessedEvents: int64(jt.Engine().Processed()),
+		RunningJobs:     st.RunningJobs,
+		MapSlots:        st.TotalMapSlots,
+		MapSlotsUsed:    st.OccupiedMapSlots,
+		ReduceSlots:     st.TotalReduceSlots,
+		ReduceSlotsUsed: st.OccupiedReduces,
+		QueuedMaps:      st.QueuedMapTasks,
+		QueuedReduces:   st.QueuedReduceTasks,
+		Samples:         len(s.samp.snaps),
+	}
+	if snap, ok := s.samp.Latest(); ok {
+		payload.Latest = &snap
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload)
+}

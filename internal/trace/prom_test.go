@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition encoder byte-for-byte:
+// HELP/TYPE lines, label escaping (backslash, quote, newline), name
+// sanitization (dots and dashes to underscores, leading digits
+// prefixed), and deterministic family ordering regardless of input
+// order.
+func TestWritePrometheusGolden(t *testing.T) {
+	families := []PromFamily{
+		{
+			Name: "dynmr.node.cpu_util_pct",
+			Help: "Per-node CPU utilisation.",
+			Type: PromGauge,
+			Samples: []PromSample{
+				{Labels: []PromLabel{{Name: "node", Value: "0"}}, Value: 87.5},
+				{Labels: []PromLabel{{Name: "node", Value: "1"}}, Value: 12},
+			},
+		},
+		{
+			Name: "2map.attempts",
+			Help: `backslash \ and
+newline in help`,
+			Type:    PromCounter,
+			Samples: []PromSample{{Value: 42}},
+		},
+		{
+			Name: "dynmr.policy.evals",
+			Help: "Evaluations per policy.",
+			Type: PromCounter,
+			Samples: []PromSample{
+				{Labels: []PromLabel{{Name: "policy", Value: `LA "quoted" \ slash` + "\nnewline"}}, Value: 7},
+			},
+		},
+		{Name: "empty.family", Help: "No samples: omitted.", Type: PromGauge},
+		{Name: "no.type", Samples: []PromSample{{Value: 1.5}}},
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, families); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP _2map_attempts backslash \\ and\nnewline in help
+# TYPE _2map_attempts counter
+_2map_attempts 42
+# HELP dynmr_node_cpu_util_pct Per-node CPU utilisation.
+# TYPE dynmr_node_cpu_util_pct gauge
+dynmr_node_cpu_util_pct{node="0"} 87.5
+dynmr_node_cpu_util_pct{node="1"} 12
+# HELP dynmr_policy_evals Evaluations per policy.
+# TYPE dynmr_policy_evals counter
+dynmr_policy_evals{policy="LA \"quoted\" \\ slash\nnewline"} 7
+# TYPE no_type untyped
+no_type 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromFamiliesFromRegistry(t *testing.T) {
+	tr := New(Config{Enabled: true})
+	tr.Inc(CounterMapAttempts, 12)
+	tr.SetGauge(GaugeCPUUtilPct, 55.5)
+	tr.Observe(HistMapDuration, 2)
+	tr.Observe(HistMapDuration, 6)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, tr.PromFamilies("dynmr.")); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# TYPE dynmr_map_attempts_total counter",
+		"dynmr_map_attempts_total 12",
+		"# TYPE dynmr_cluster_cpu_util_pct gauge",
+		"dynmr_cluster_cpu_util_pct 55.5",
+		"dynmr_map_duration_s_count 2",
+		"dynmr_map_duration_s_sum 8",
+		"dynmr_map_duration_s_min 2",
+		"dynmr_map_duration_s_max 6",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", line, out)
+		}
+	}
+
+	if (*Tracer)(nil).PromFamilies("x") != nil {
+		t.Fatal("nil tracer produced families")
+	}
+}

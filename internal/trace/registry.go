@@ -23,6 +23,17 @@ const (
 	HistMapDuration    = "map.duration_s"
 	HistMapQueueWait   = "map.queue_wait_s"
 	HistReduceDuration = "reduce.duration_s"
+
+	GaugeCPUUtilPct      = "cluster.cpu_util_pct"
+	GaugeDiskReadKBs     = "cluster.disk_read_kb_s"
+	GaugeNetworkUtilPct  = "cluster.network_util_pct"
+	GaugeMapSlotPct      = "cluster.map_slot_pct"
+	GaugeReduceSlotPct   = "cluster.reduce_slot_pct"
+	GaugeQueuedMaps      = "cluster.queued_map_tasks"
+	GaugeQueuedReduces   = "cluster.queued_reduce_tasks"
+	GaugeRunningJobs     = "cluster.running_jobs"
+	GaugeVirtualTime     = "sim.virtual_time_s"
+	GaugeProcessedEvents = "sim.processed_events"
 )
 
 // HistogramSnapshot summarises one histogram's observations.
@@ -41,16 +52,39 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-// registry is the counter/histogram store behind a Tracer. It has no
-// lock of its own: the Tracer's mutex guards it.
+// GaugeSnapshot summarises one gauge's history of set values: the most
+// recent value plus min/max/avg aggregation over every Set since the
+// tracer was created. Unlike a histogram a gauge is a point-in-time
+// level (slots in use, queue depth), so Last is the primary reading and
+// the aggregates describe the level's range over the run.
+type GaugeSnapshot struct {
+	Last  float64
+	Min   float64
+	Max   float64
+	Sum   float64
+	Count int64
+}
+
+// Avg returns Sum/Count (0 when the gauge was never set).
+func (g GaugeSnapshot) Avg() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return g.Sum / float64(g.Count)
+}
+
+// registry is the counter/gauge/histogram store behind a Tracer. It has
+// no lock of its own: the Tracer's mutex guards it.
 type registry struct {
 	counters map[string]int64
+	gauges   map[string]*GaugeSnapshot
 	hists    map[string]*HistogramSnapshot
 }
 
 func newRegistry() registry {
 	return registry{
 		counters: make(map[string]int64),
+		gauges:   make(map[string]*GaugeSnapshot),
 		hists:    make(map[string]*HistogramSnapshot),
 	}
 }
@@ -85,6 +119,58 @@ func (t *Tracer) Counters() map[string]int64 {
 	out := make(map[string]int64, len(t.reg.counters))
 	for k, v := range t.reg.counters {
 		out[k] = v
+	}
+	return out
+}
+
+// SetGauge records the named gauge's current level and folds it into
+// the gauge's min/max/avg aggregates.
+func (t *Tracer) SetGauge(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g := t.reg.gauges[name]
+	if g == nil {
+		g = &GaugeSnapshot{Min: math.Inf(1), Max: math.Inf(-1)}
+		t.reg.gauges[name] = g
+	}
+	g.Last = v
+	g.Sum += v
+	g.Count++
+	if v < g.Min {
+		g.Min = v
+	}
+	if v > g.Max {
+		g.Max = v
+	}
+}
+
+// Gauge returns the named gauge's snapshot and whether it was ever set.
+func (t *Tracer) Gauge(name string) (GaugeSnapshot, bool) {
+	if t == nil {
+		return GaugeSnapshot{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g := t.reg.gauges[name]
+	if g == nil {
+		return GaugeSnapshot{}, false
+	}
+	return *g, true
+}
+
+// Gauges returns a copy of every gauge snapshot.
+func (t *Tracer) Gauges() map[string]GaugeSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]GaugeSnapshot, len(t.reg.gauges))
+	for k, v := range t.reg.gauges {
+		out[k] = *v
 	}
 	return out
 }
@@ -126,16 +212,19 @@ func (t *Tracer) Histogram(name string) (HistogramSnapshot, bool) {
 	return *h, true
 }
 
-// MetricNames returns every registered counter and histogram name,
-// sorted, for diagnostics dumps.
+// MetricNames returns every registered counter, gauge, and histogram
+// name, sorted, for diagnostics dumps.
 func (t *Tracer) MetricNames() []string {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	names := make([]string, 0, len(t.reg.counters)+len(t.reg.hists))
+	names := make([]string, 0, len(t.reg.counters)+len(t.reg.gauges)+len(t.reg.hists))
 	for k := range t.reg.counters {
+		names = append(names, k)
+	}
+	for k := range t.reg.gauges {
 		names = append(names, k)
 	}
 	for k := range t.reg.hists {
