@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
-//	            [-mode quick|paper] [-j N] [-policies LIST] [-csv]
+//	            [-mode quick|paper] [-j N] [-scan-workers N] [-policies LIST] [-csv]
 //	            [-trace-out DIR] [-report-out DIR] [-sample-interval S]
 //	            [-bench-json FILE]
 //
@@ -14,6 +14,13 @@
 // Parallelism is across cells only: each cell owns a private simulated
 // cluster whose virtual time never observes the pool, and results are
 // assembled in enumeration order, so output is byte-identical to -j 1.
+//
+// -scan-workers sizes the sweep-wide scan-executor pool (default
+// runtime.NumCPU; 0 disables it). The pool runs pure map record scans
+// off the simulator goroutines, overlapping real compute with
+// simulated I/O time; simulated costs come from split metadata and
+// results are joined at completion-event time, so output is
+// byte-identical at any setting.
 //
 // -policies restricts the sweeps to a comma-separated subset of
 // Table I's policies (e.g. -policies LA,Hadoop); CI's smoke job uses
@@ -60,6 +67,7 @@ func main() {
 	reportOut := flag.String("report-out", "", "directory for per-cell self-contained HTML run reports (figures 5-8)")
 	sampleInterval := flag.Float64("sample-interval", 0, "observability sampler cadence in virtual seconds for -report-out time-series (0 = per-figure default)")
 	jobs := flag.Int("j", runtime.NumCPU(), "sweep cells to run concurrently (1 = sequential; output is identical either way)")
+	scanWorkers := flag.Int("scan-workers", runtime.NumCPU(), "scan-executor pool size for off-sim-thread map scans (0 = inline; output is identical either way)")
 	policies := flag.String("policies", "", "comma-separated subset of Table I policies to sweep (default: all)")
 	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
 	flag.Parse()
@@ -90,6 +98,7 @@ func main() {
 	}
 	opt.SampleIntervalS = *sampleInterval
 	opt.Parallelism = *jobs
+	opt.ScanWorkers = *scanWorkers
 	if *policies != "" {
 		opt.Policies = strings.Split(*policies, ",")
 	}
@@ -210,6 +219,7 @@ func main() {
 		report := struct {
 			Mode         string           `json:"mode"`
 			Parallelism  int              `json:"parallelism"`
+			ScanWorkers  int              `json:"scan_workers"`
 			GOMAXPROCS   int              `json:"gomaxprocs"`
 			Policies     []string         `json:"policies"`
 			Artifacts    []artifactTiming `json:"artifacts"`
@@ -217,6 +227,7 @@ func main() {
 		}{
 			Mode:         *mode,
 			Parallelism:  *jobs,
+			ScanWorkers:  *scanWorkers,
 			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 			Policies:     opt.Policies,
 			Artifacts:    timings,

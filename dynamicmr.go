@@ -13,6 +13,7 @@ import (
 	"dynamicmr/internal/expr"
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/mapreduce/executor"
 	"dynamicmr/internal/obs"
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/sim"
@@ -85,6 +86,18 @@ func WithPolicies(r *core.Registry) Option {
 	return func(c *config) { c.policies = r }
 }
 
+// WithScanWorkers attaches an n-worker scan-executor pool that runs
+// pure map record scans (jobs declaring a MemoKey, i.e. every sampling
+// job) off the simulator goroutine, overlapping real compute with
+// simulated I/O time. Simulated task costs are unchanged and results
+// are joined at completion-event time, so all query results and
+// virtual timings are identical to the inline default; only wall-clock
+// time improves on multi-core hosts. n <= 0 keeps scans inline. Call
+// Close when done to stop the workers.
+func WithScanWorkers(n int) Option {
+	return func(c *config) { c.runtime.ScanExecutor = executor.NewPool(n) }
+}
+
 // WithTracing enables the tracing/metrics subsystem with the given
 // configuration (Enabled is forced on). The collected spans, policy
 // audit log and utilization timeline are available via Tracer().
@@ -119,6 +132,7 @@ type Cluster struct {
 	policies *core.Registry
 	sessions map[string]*hive.Session
 	sampler  *obs.Sampler
+	scanPool *executor.Pool
 	seed     int64
 }
 
@@ -149,6 +163,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		catalog:  hive.NewCatalog(),
 		policies: cfg.policies,
 		sessions: make(map[string]*hive.Session),
+		scanPool: cfg.runtime.ScanExecutor,
 	}
 	if cfg.sample {
 		c.sampler = obs.NewSampler(c.jt, obs.Config{IntervalS: cfg.sampleInterval})
@@ -159,6 +174,11 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 
 // Now returns the cluster's virtual time in seconds.
 func (c *Cluster) Now() float64 { return c.eng.Now() }
+
+// Close releases background resources: the scan-executor pool's
+// workers when built WithScanWorkers. Safe to call on any cluster, at
+// most once; queries submitted after Close fall back to inline scans.
+func (c *Cluster) Close() { c.scanPool.Close() }
 
 // Policies returns the policy registry (the policy.xml contents).
 func (c *Cluster) Policies() *core.Registry { return c.policies }

@@ -20,14 +20,14 @@ import (
 // singleUserRun executes one dynamic sampling job on a fresh idle
 // cluster under the given policy and provider wrapping, returning the
 // finished job and its client.
-func (o Options) singleUserRun(cache *dsCache, memo *mapreduce.MapOutputCache, z float64, pol *core.Policy,
+func (o Options) singleUserRun(sh *sweepShared, z float64, pol *core.Policy,
 	wrap func(core.InputProvider) core.InputProvider, seed int64) (*core.JobClient, error) {
 	scale := o.Scales[len(o.Scales)-1]
-	ds, err := cache.get(o.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
+	ds, err := sh.cache.get(o.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
 	if err != nil {
 		return nil, err
 	}
-	r := newRig(nil, false, memo, false)
+	r := newRig(nil, false, sh, false)
 	f, err := r.load(ds, ds.Name())
 	if err != nil {
 		return nil, err
@@ -64,8 +64,8 @@ func AblationInterval(opt Options) (*Table, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	base, err := core.DefaultRegistry().Get(core.PolicyLA)
 	if err != nil {
 		return nil, err
@@ -86,7 +86,7 @@ func AblationInterval(opt Options) (*Table, error) {
 			WorkThresholdPct:    base.WorkThresholdPct,
 			GrabLimitExpr:       base.GrabLimitExpr,
 		}
-		client, err := opt.singleUserRun(cache, memo, 1, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(sh, 1, pol, nil, opt.Seed)
 		if err != nil {
 			return err
 		}
@@ -109,8 +109,8 @@ func AblationThreshold(opt Options) (*Table, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	t := &Table{
 		Title:   "Ablation: work threshold (LA grab limit, 4s interval, single user, moderate skew)",
 		Columns: []string{"Threshold (%)", "Response (s)", "Evaluations", "Partitions"},
@@ -127,7 +127,7 @@ func AblationThreshold(opt Options) (*Table, error) {
 			WorkThresholdPct:    thresholds[i],
 			GrabLimitExpr:       "AS > 0 ? 0.2*AS : 0.1*TS",
 		}
-		client, err := opt.singleUserRun(cache, memo, 1, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(sh, 1, pol, nil, opt.Seed)
 		if err != nil {
 			return err
 		}
@@ -152,8 +152,8 @@ func AblationGrabScale(opt Options) (*Table, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	t := &Table{
 		Title:   "Ablation: grab-limit scale f (limit = f*AS, single user, high skew)",
 		Columns: []string{"f", "Response (s)", "Partitions", "Records read (M)"},
@@ -170,7 +170,7 @@ func AblationGrabScale(opt Options) (*Table, error) {
 			WorkThresholdPct:    0,
 			GrabLimitExpr:       fmt.Sprintf("%g*AS", scales[i]),
 		}
-		client, err := opt.singleUserRun(cache, memo, 2, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(sh, 2, pol, nil, opt.Seed)
 		if err != nil {
 			return err
 		}
@@ -196,8 +196,8 @@ func AblationAdaptive(opt Options) (*Table, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	reg := core.DefaultRegistry()
 
 	t := &Table{
@@ -229,9 +229,9 @@ func AblationAdaptive(opt Options) (*Table, error) {
 			if perr != nil {
 				return perr
 			}
-			client, err = opt.singleUserRun(cache, memo, 1, pol, nil, opt.Seed)
+			client, err = opt.singleUserRun(sh, 1, pol, nil, opt.Seed)
 		} else {
-			client, err = opt.singleUserRun(cache, memo, 1, core.AdaptiveEnvelopePolicy(),
+			client, err = opt.singleUserRun(sh, 1, core.AdaptiveEnvelopePolicy(),
 				func(p core.InputProvider) core.InputProvider { return core.NewAdaptiveProvider(p) }, opt.Seed)
 		}
 		if err != nil {
@@ -244,7 +244,7 @@ func AblationAdaptive(opt Options) (*Table, error) {
 		if polName == "" {
 			polName = "Adaptive"
 		}
-		tp, err := adaptiveWorkloadThroughput(opt, cache, memo, polName)
+		tp, err := adaptiveWorkloadThroughput(opt, sh, polName)
 		if err != nil {
 			return err
 		}
@@ -263,12 +263,12 @@ func AblationAdaptive(opt Options) (*Table, error) {
 // adaptiveWorkloadThroughput runs the Figure 6 homogeneous workload
 // under the named policy ("Adaptive" routes through the adaptive
 // provider) and returns jobs/hour.
-func adaptiveWorkloadThroughput(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, policy string) (float64, error) {
-	r := newRig(nil, true, memo, false)
+func adaptiveWorkloadThroughput(opt Options, sh *sweepShared, policy string) (float64, error) {
+	r := newRig(nil, true, sh, false)
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		name := fmt.Sprintf("li_ad_u%d", u)
-		ds, err := cache.get(opt.workloadSpec(0, name, int64(u+1)*19))
+		ds, err := sh.cache.get(opt.workloadSpec(0, name, int64(u+1)*19))
 		if err != nil {
 			return 0, err
 		}

@@ -39,8 +39,8 @@ func Figure5(opt Options) (*Figure5Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	reg := core.DefaultRegistry()
 
 	type cellSpec struct {
@@ -59,7 +59,7 @@ func Figure5(opt Options) (*Figure5Result, error) {
 	cells := make([]Figure5Cell, len(specs))
 	err := runCells(opt.parallelism(), len(specs), func(i int) error {
 		s := specs[i]
-		cell, err := figure5Cell(opt, cache, memo, reg, s.z, s.scale, s.policy)
+		cell, err := figure5Cell(opt, sh, reg, s.z, s.scale, s.policy)
 		if err != nil {
 			return err
 		}
@@ -74,9 +74,9 @@ func Figure5(opt Options) (*Figure5Result, error) {
 
 // figure5Cell measures one (skew, scale, policy) combination over
 // opt.Runs runs, each on a fresh idle cluster.
-func figure5Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, reg *core.Registry,
+func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 	z float64, scale int, polName string) (Figure5Cell, error) {
-	ds, err := cache.get(opt.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
+	ds, err := sh.cache.get(opt.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
 	if err != nil {
 		return Figure5Cell{}, err
 	}
@@ -86,7 +86,7 @@ func figure5Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, re
 	}
 	cell := Figure5Cell{Z: z, Scale: scale, Policy: pol.Name}
 	for run := 0; run < opt.Runs; run++ {
-		r := newRig(nil, false, memo, opt.reporting()) // single-user: 4 slots/node
+		r := newRig(nil, false, sh, opt.reporting()) // single-user: 4 slots/node
 		// Report the cell's final run: single-user jobs are short, so a
 		// 2 s default cadence keeps the time-series dense (the report
 		// strides long series back down, so paper mode stays viewable).

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dynamicmr/internal/hive"
-	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/metrics"
 	"dynamicmr/internal/obs"
 	"dynamicmr/internal/workload"
@@ -35,8 +34,8 @@ func Figure6(opt Options) (*Figure6Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	type cellSpec struct {
 		z      float64
 		policy string
@@ -49,7 +48,7 @@ func Figure6(opt Options) (*Figure6Result, error) {
 	}
 	cells := make([]Figure6Cell, len(specs))
 	err := runCells(opt.parallelism(), len(specs), func(i int) error {
-		cell, err := figure6Cell(opt, cache, memo, specs[i].z, specs[i].policy)
+		cell, err := figure6Cell(opt, sh, specs[i].z, specs[i].policy)
 		if err != nil {
 			return err
 		}
@@ -62,14 +61,14 @@ func Figure6(opt Options) (*Figure6Result, error) {
 	return &Figure6Result{Opt: opt, Cells: cells}, nil
 }
 
-func figure6Cell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, z float64, policy string) (Figure6Cell, error) {
-	r := newRig(nil, true, memo, opt.reporting()) // 16 map slots/node
+func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure6Cell, error) {
+	r := newRig(nil, true, sh, opt.reporting()) // 16 map slots/node
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		// Per-user dataset copy (§V-D: "each works against a different
 		// copy of the dataset").
 		name := fmt.Sprintf("lineitem_u%d_z%g", u, z)
-		ds, err := cache.get(opt.workloadSpec(z, name, int64(u+1)*13))
+		ds, err := sh.cache.get(opt.workloadSpec(z, name, int64(u+1)*13))
 		if err != nil {
 			return Figure6Cell{}, err
 		}

@@ -52,8 +52,8 @@ func heterogeneous(opt Options, mkSched func() mapreduce.TaskScheduler, schedNam
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cache := newDSCache()
-	memo := mapreduce.NewMapOutputCache()
+	sh := opt.newSweepShared()
+	defer sh.close()
 	type cellSpec struct {
 		frac   float64
 		policy string
@@ -71,7 +71,7 @@ func heterogeneous(opt Options, mkSched func() mapreduce.TaskScheduler, schedNam
 		if mkSched != nil {
 			sched = mkSched()
 		}
-		cell, err := heterogeneousCell(opt, cache, memo, sched, specs[i].frac, specs[i].policy)
+		cell, err := heterogeneousCell(opt, sh, sched, specs[i].frac, specs[i].policy)
 		if err != nil {
 			return err
 		}
@@ -84,9 +84,9 @@ func heterogeneous(opt Options, mkSched func() mapreduce.TaskScheduler, schedNam
 	return &Figure7Result{Opt: opt, Scheduler: schedName, Cells: cells}, nil
 }
 
-func heterogeneousCell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCache, sched mapreduce.TaskScheduler,
+func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskScheduler,
 	frac float64, policy string) (Figure7Cell, error) {
-	r := newRig(sched, true, memo, opt.reporting())
+	r := newRig(sched, true, sh, opt.reporting())
 	nSampling := int(frac*float64(opt.Users) + 0.5)
 	if nSampling < 1 {
 		nSampling = 1
@@ -100,7 +100,7 @@ func heterogeneousCell(opt Options, cache *dsCache, memo *mapreduce.MapOutputCac
 		// predicate used for sampling jobs corresponds to a uniform
 		// distribution"; non-sampling queries are 0.05% select-project).
 		name := fmt.Sprintf("lineitem_u%d", u)
-		ds, err := cache.get(opt.workloadSpec(0, name, int64(u+1)*17))
+		ds, err := sh.cache.get(opt.workloadSpec(0, name, int64(u+1)*17))
 		if err != nil {
 			return Figure7Cell{}, err
 		}

@@ -65,6 +65,15 @@ type Options struct {
 	// single-user Figure 5 cells, 30 s — the paper's §V-D monitoring
 	// cadence — for the workload figures).
 	SampleIntervalS float64
+	// ScanWorkers sizes the sweep-wide scan-executor pool that runs
+	// pure map record scans off the simulator goroutines (the
+	// cmd/experiments -scan-workers flag); 0 disables it and scans run
+	// inline at the completion event, exactly as before. The executor
+	// only changes where and when real compute happens — simulated
+	// costs come from split metadata and results are joined at
+	// completion-event time — so all tables and CSVs are byte-identical
+	// at any setting.
+	ScanWorkers int
 }
 
 // DefaultOptions is the paper-faithful configuration.

@@ -10,10 +10,35 @@ import (
 	"dynamicmr/internal/dfs"
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/mapreduce/executor"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
 	"dynamicmr/internal/trace"
 )
+
+// sweepShared bundles the state every cell of one sweep shares: the
+// dataset build cache, the map-output memo cache, and the scan
+// executor pool (nil when Options.ScanWorkers is 0). All three are
+// concurrency-safe; each cell otherwise owns a private rig, so
+// parallel cells interact only through these.
+type sweepShared struct {
+	cache *dsCache
+	memo  *mapreduce.MapOutputCache
+	pool  *executor.Pool
+}
+
+// newSweepShared builds the shared state for one sweep.
+func (o Options) newSweepShared() *sweepShared {
+	return &sweepShared{
+		cache: newDSCache(),
+		memo:  mapreduce.NewMapOutputCache(),
+		pool:  executor.NewPool(o.ScanWorkers),
+	}
+}
+
+// close stops the pool's workers once the sweep's cells have drained.
+// Safe on a sweep without a pool.
+func (s *sweepShared) close() { s.pool.Close() }
 
 // rig is one experiment's simulated test bench.
 type rig struct {
@@ -25,12 +50,14 @@ type rig struct {
 }
 
 // newRig builds a fresh cluster; multiUser selects the 16-slot
-// configuration of §V-D. memo, when non-nil, is the sweep-wide
-// map-output cache shared by every cell's JobTracker (policies change
+// configuration of §V-D. sh carries the sweep-wide shared state: the
+// map-output cache every cell's JobTracker consults (policies change
 // scheduling, not computation, so one cell's map outputs serve them
-// all). traced enables the rig's private span/metric registry — each
-// rig gets its own tracer, so concurrent cells never share one.
-func newRig(sched mapreduce.TaskScheduler, multiUser bool, memo *mapreduce.MapOutputCache, traced bool) *rig {
+// all) and the scan-executor pool that runs pure record scans off each
+// cell's simulator goroutine. traced enables the rig's private
+// span/metric registry — each rig gets its own tracer, so concurrent
+// cells never share one.
+func newRig(sched mapreduce.TaskScheduler, multiUser bool, sh *sweepShared, traced bool) *rig {
 	eng := sim.NewEngine()
 	cfg := cluster.PaperConfig()
 	if multiUser {
@@ -38,7 +65,8 @@ func newRig(sched mapreduce.TaskScheduler, multiUser bool, memo *mapreduce.MapOu
 	}
 	cl := cluster.New(eng, cfg)
 	mrCfg := mapreduce.DefaultConfig()
-	mrCfg.MapOutputCache = memo
+	mrCfg.MapOutputCache = sh.memo
+	mrCfg.ScanExecutor = sh.pool
 	if traced {
 		mrCfg.Trace = trace.Config{Enabled: true}
 	}

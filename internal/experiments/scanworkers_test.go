@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/core"
+)
+
+// TestScanWorkersByteIdentical runs one figure-5 sweep inline and on
+// 1- and 8-worker scan pools: every rendered table must be
+// byte-identical. The executor moves real compute off the simulator
+// goroutines but joins results at completion-event time, so virtual
+// time — and with it every number the experiments print — must not
+// observe it.
+func TestScanWorkersByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		opt := tinyOptions()
+		opt.Scales = []int{2}
+		opt.Policies = []string{core.PolicyLA, core.PolicyHadoop}
+		opt.ScanWorkers = workers
+		res, err := Figure5(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var sb strings.Builder
+		for _, tb := range res.Tables() {
+			sb.WriteString(tb.CSV())
+		}
+		return sb.String()
+	}
+	base := render(0)
+	for _, workers := range []int{1, 8} {
+		if got := render(workers); got != base {
+			t.Errorf("ScanWorkers=%d changed figure-5 output:\n--- inline ---\n%s\n--- workers=%d ---\n%s",
+				workers, base, workers, got)
+		}
+	}
+}

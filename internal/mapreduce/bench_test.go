@@ -44,6 +44,52 @@ func BenchmarkStaticJob(b *testing.B) {
 	}
 }
 
+// BenchmarkMapCompletion isolates the map-completion hot path — the
+// record scan, combine sort, and per-partition shuffle chunking — that
+// the byPart slice, pooled collectors, and sortPairsStable target.
+// Compare allocs/op against the pre-refactor per-task map allocation.
+func BenchmarkMapCompletion(b *testing.B) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	fs := dfs.New(cl)
+	schema := data.NewSchema("K", "V")
+	var srcs []data.Source
+	for p := 0; p < 8; p++ {
+		recs := make([]data.Record, 500)
+		for j := range recs {
+			recs[j] = data.NewRecord(schema, []data.Value{
+				data.Int(int64(j % 16)), data.Int(int64(j)),
+			})
+		}
+		srcs = append(srcs, data.NewSliceSource(schema, recs))
+	}
+	f, err := fs.Create("in", srcs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jt := NewJobTracker(cl, DefaultConfig(), nil)
+	conf := NewJobConf()
+	conf.SetInt(ConfNumReduces, 4)
+	spec := JobSpec{
+		Conf: conf,
+		NewMapper: func(*JobConf) Mapper {
+			return MapperFunc(func(rec data.Record, out *Collector) error {
+				out.Emit(rec.MustGet("K").String(), rec)
+				return nil
+			})
+		},
+		NewReducer: func(*JobConf) Reducer { return IdentityReducer },
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := jt.Submit(spec, SplitsForFile(f))
+		if !RunUntilDone(eng, job, eng.Now()+1e6) {
+			b.Fatal("job stuck")
+		}
+	}
+}
+
 func BenchmarkHeartbeatScheduling(b *testing.B) {
 	eng := sim.NewEngine()
 	cl := cluster.New(eng, cluster.PaperConfig())

@@ -1,0 +1,181 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolDisabled(t *testing.T) {
+	p := NewPool(0)
+	if p != nil {
+		t.Fatalf("NewPool(0) = %v, want nil", p)
+	}
+	if p.Enabled() {
+		t.Fatal("nil pool reports Enabled")
+	}
+	if p.Workers() != 0 {
+		t.Fatalf("nil pool Workers = %d, want 0", p.Workers())
+	}
+	s, d, c := p.Stats()
+	if s != 0 || d != 0 || c != 0 {
+		t.Fatalf("nil pool Stats = %d,%d,%d, want zeros", s, d, c)
+	}
+	p.Close() // must not panic
+}
+
+func TestSubmitAndWait(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	fut := p.Submit(Key{Source: t, Memo: "a"}, func() (any, error) { return 42, nil })
+	v, err := fut.Wait()
+	if err != nil || v != 42 {
+		t.Fatalf("Wait = %v, %v, want 42, nil", v, err)
+	}
+	if !fut.Ready() {
+		t.Fatal("completed future not Ready")
+	}
+	errFut := p.Submit(Key{Source: t, Memo: "b"}, func() (any, error) { return nil, errors.New("boom") })
+	if _, err := errFut.Wait(); err == nil {
+		t.Fatal("error not propagated through future")
+	}
+}
+
+func TestResolved(t *testing.T) {
+	f := Resolved("cached")
+	if !f.Ready() {
+		t.Fatal("Resolved future not Ready")
+	}
+	v, err := f.Wait()
+	if err != nil || v != "cached" {
+		t.Fatalf("Wait = %v, %v, want cached, nil", v, err)
+	}
+}
+
+// TestSingleflight checks that concurrent submissions of one key share
+// a single execution while the scan is in flight.
+func TestSingleflight(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var runs atomic.Int64
+	release := make(chan struct{})
+	key := Key{Source: t, Memo: "same"}
+	// First submission parks the single worker until release.
+	first := p.Submit(key, func() (any, error) {
+		runs.Add(1)
+		<-release
+		return "v", nil
+	})
+	for i := 0; i < 10; i++ {
+		dup := p.Submit(key, func() (any, error) {
+			runs.Add(1)
+			return "dup", nil
+		})
+		if dup != first {
+			t.Fatal("in-flight key did not coalesce onto the existing future")
+		}
+	}
+	close(release)
+	if v, err := first.Wait(); err != nil || v != "v" {
+		t.Fatalf("Wait = %v, %v, want v, nil", v, err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("scan ran %d times, want 1", got)
+	}
+	sub, dedup, _ := p.Stats()
+	if sub != 1 || dedup != 10 {
+		t.Fatalf("Stats submitted=%d deduped=%d, want 1, 10", sub, dedup)
+	}
+}
+
+func TestDistinctKeysRunIndependently(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	futs := make([]*Future, 32)
+	for i := range futs {
+		i := i
+		futs[i] = p.Submit(Key{Source: t, Memo: fmt.Sprint(i)}, func() (any, error) { return i, nil })
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil || v != i {
+			t.Fatalf("future %d = %v, %v", i, v, err)
+		}
+	}
+	sub, _, comp := p.Stats()
+	if sub != 32 || comp != 32 {
+		t.Fatalf("Stats submitted=%d completed=%d, want 32, 32", sub, comp)
+	}
+}
+
+func TestCloseDrainsQueueAndRunsInlineAfter(t *testing.T) {
+	p := NewPool(1)
+	var ran atomic.Int64
+	futs := make([]*Future, 16)
+	for i := range futs {
+		futs[i] = p.Submit(Key{Source: t, Memo: fmt.Sprint(i)}, func() (any, error) {
+			ran.Add(1)
+			return nil, nil
+		})
+	}
+	p.Close()
+	for i, f := range futs {
+		if !f.Ready() {
+			t.Fatalf("queued scan %d not drained by Close", i)
+		}
+	}
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("%d scans ran, want 16", got)
+	}
+	// Post-close submissions execute inline on the caller.
+	late := p.Submit(Key{Source: t, Memo: "late"}, func() (any, error) { return "inline", nil })
+	if !late.Ready() {
+		t.Fatal("post-Close submission did not run inline")
+	}
+	if v, _ := late.Wait(); v != "inline" {
+		t.Fatalf("post-Close value = %v", v)
+	}
+	p.Close() // second Close must not panic or deadlock
+}
+
+// TestConcurrentSubmitJoinClose is the -race stress test: many
+// goroutines submit overlapping keys, wait on futures, and abandon some
+// (simulating killed speculative attempts) while another goroutine
+// closes the pool mid-stream.
+func TestConcurrentSubmitJoinClose(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 200
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := Key{Source: t, Memo: fmt.Sprint(i % 50)} // force collisions
+				fut := p.Submit(key, func() (any, error) { return i, nil })
+				switch {
+				case i%3 == 0:
+					fut.Wait() // join
+				case i%3 == 1:
+					fut.Ready() // poll, then abandon (speculative kill)
+				default:
+					_ = fut // abandon outright
+				}
+				_ = g
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	sub, dedup, comp := p.Stats()
+	if sub != comp {
+		t.Fatalf("submitted %d != completed %d after Close", sub, comp)
+	}
+	if sub+dedup != goroutines*perG {
+		t.Fatalf("submitted+deduped = %d, want %d", sub+dedup, goroutines*perG)
+	}
+}

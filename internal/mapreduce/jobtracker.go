@@ -3,9 +3,9 @@ package mapreduce
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
 
 	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/mapreduce/executor"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/trace"
 )
@@ -81,6 +81,15 @@ type Config struct {
 	// computation. Virtual-time costs are charged either way, so a hit
 	// saves real wall-clock without perturbing simulated results.
 	MapOutputCache *MapOutputCache
+	// ScanExecutor, when non-nil, runs the real record scans of pure
+	// map tasks (jobs declaring a MemoKey) on a worker pool off the
+	// simulator thread: the scan is submitted when an attempt's phase
+	// chain starts and joined when its completion event fires, so real
+	// compute overlaps the simulation without perturbing virtual time
+	// or results (see scan.go for the determinism contract). The pool
+	// may be shared across JobTrackers; impure jobs always execute
+	// inline. nil disables asynchronous scans.
+	ScanExecutor *executor.Pool
 }
 
 // DefaultConfig returns the standard runtime configuration.
@@ -590,8 +599,8 @@ func (jt *JobTracker) completeJob(j *Job) {
 	}
 }
 
-// sortChunks orders one partition's chunks by producing task order so
-// reduce input is deterministic.
+// sortPairs concatenates one partition's chunks in producing-task
+// order and sorts by key so reduce input is deterministic.
 func sortPairs(chunks []mapChunk) []KeyValue {
 	var total int
 	for _, c := range chunks {
@@ -603,6 +612,6 @@ func sortPairs(chunks []mapChunk) []KeyValue {
 	}
 	// Stable sort by key: Hadoop's merge groups equal keys while
 	// preserving chunk order within a key.
-	sort.SliceStable(pairs, func(i, k int) bool { return pairs[i].Key < pairs[k].Key })
+	sortPairsStable(pairs)
 	return pairs
 }

@@ -1,0 +1,83 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/data"
+)
+
+var shuffleSchema = data.NewSchema("seq")
+
+func taggedPair(key string, seq int) KeyValue {
+	return KeyValue{Key: key, Value: data.NewRecord(shuffleSchema, []data.Value{data.Int(int64(seq))})}
+}
+
+func pairSeq(kv KeyValue) int64 {
+	return kv.Value.MustGet("seq").AsInt()
+}
+
+// TestSortPairsStableGolden pins the reduce input order for duplicate
+// keys spread across map chunks: keys sort lexicographically and equal
+// keys keep chunk-arrival order — exactly sort.SliceStable's contract,
+// which sortPairsStable replaced.
+func TestSortPairsStableGolden(t *testing.T) {
+	// Three "chunks" concatenated in producing-task order, with key
+	// collisions both within and across chunks.
+	pairs := []KeyValue{
+		// chunk from map 0
+		taggedPair("b", 0), taggedPair("a", 1), taggedPair("b", 2),
+		// chunk from map 1
+		taggedPair("a", 3), taggedPair("c", 4), taggedPair("a", 5),
+		// chunk from map 2
+		taggedPair("b", 6), taggedPair("a", 7),
+	}
+	sortPairsStable(pairs)
+	var got []string
+	for _, kv := range pairs {
+		got = append(got, fmt.Sprintf("%s%d", kv.Key, pairSeq(kv)))
+	}
+	want := "a1 a3 a5 a7 b0 b2 b6 c4"
+	if s := strings.Join(got, " "); s != want {
+		t.Fatalf("reduce input order changed:\n got %s\nwant %s", s, want)
+	}
+}
+
+// TestSortPairsStableMatchesSliceStable cross-checks sortPairsStable
+// against the sort.SliceStable implementation it replaced, over inputs
+// dense with duplicate keys.
+func TestSortPairsStableMatchesSliceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		n := rng.Intn(400)
+		pairs := make([]KeyValue, n)
+		ref := make([]KeyValue, n)
+		for i := range pairs {
+			pairs[i] = taggedPair(fmt.Sprintf("k%02d", rng.Intn(8)), i)
+			ref[i] = pairs[i]
+		}
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Key < ref[j].Key })
+		sortPairsStable(pairs)
+		for i := range pairs {
+			if pairs[i].Key != ref[i].Key || pairSeq(pairs[i]) != pairSeq(ref[i]) {
+				t.Fatalf("round %d: position %d = %s/%d, want %s/%d",
+					round, i, pairs[i].Key, pairSeq(pairs[i]), ref[i].Key, pairSeq(ref[i]))
+			}
+		}
+	}
+}
+
+func TestCollectorRecycling(t *testing.T) {
+	c := newCollector()
+	c.Emit("k", taggedPair("k", 1).Value)
+	c.Inc("counter", 3)
+	recycleCollector(c)
+	c2 := newCollector()
+	if len(c2.pairs) != 0 || c2.bytes != 0 || c2.counters != nil {
+		t.Fatalf("recycled collector not reset: %+v", c2)
+	}
+	recycleCollector(nil) // must not panic
+}

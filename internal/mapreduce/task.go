@@ -2,9 +2,9 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
 
 	"dynamicmr/internal/data"
+	"dynamicmr/internal/mapreduce/executor"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/trace"
 )
@@ -32,6 +32,13 @@ type mapAttempt struct {
 	res    *sim.SharedResource
 	demand *sim.Demand
 	killed bool
+
+	// scan is the attempt's asynchronous record scan on the executor
+	// pool (nil when the scan runs inline: no pool, or an impure job).
+	// A killed or superseded attempt simply abandons the handle — pure
+	// results are reusable, so the pool finishes the work in the
+	// background and memoises it for whoever needs it next.
+	scan *executor.Future
 }
 
 // tracePhase closes the attempt's open phase span, if any, and opens
@@ -90,6 +97,10 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 		seq:         t.Attempts,
 	}
 	t.running = append(t.running, att)
+	// The attempt's inputs (split, conf, MemoKey) are fixed from here
+	// on, so the real record scan can start now on the executor pool
+	// while the simulation charges the attempt's virtual I/O and CPU.
+	att.scan = jt.submitScan(t)
 
 	tt.changeMapSlots(+1)
 	jt.changeMapSlots(+1)
@@ -158,6 +169,7 @@ func (jt *JobTracker) killAttempt(att *mapAttempt) {
 		return
 	}
 	att.killed = true
+	att.scan = nil // abandon any async scan; the pool finishes it
 	if att.timer != nil {
 		jt.eng.Cancel(att.timer)
 		att.timer = nil
@@ -212,6 +224,8 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 	jt.tracePhase(att, "")
 	jt.releaseAttempt(att)
 	att.killed = true // no further stages may run
+	scan := att.scan
+	att.scan = nil
 
 	if j.Done() || t.completed {
 		// Job failed mid-flight, or a sibling attempt won the race in
@@ -227,10 +241,17 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 	failed := false
 	var out *Collector
 	var err error
-	if jt.cfg.FailureInjector != nil && jt.cfg.FailureInjector(j, t) {
+	switch {
+	case jt.cfg.FailureInjector != nil && jt.cfg.FailureInjector(j, t):
+		// Injected failure: any async scan is abandoned (its pure
+		// result stays reusable via the cache for the retry).
 		failed = true
 		err = fmt.Errorf("injected failure")
-	} else {
+	case scan != nil:
+		// Event-order join of the scan submitted at attempt start.
+		out, err = jt.joinScan(scan)
+		failed = err != nil
+	default:
 		out, err = jt.execMapper(t)
 		failed = err != nil
 	}
@@ -270,20 +291,36 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 	}
 
 	// Partition output by key and stash for the shuffle, tagged with
-	// the producing node.
-	byPart := make(map[int]*mapChunk)
-	for _, kv := range out.Pairs() {
-		p := partition(kv.Key, j.numReduces)
-		c := byPart[p]
-		if c == nil {
-			c = &mapChunk{node: tt.node.ID}
-			byPart[p] = c
+	// the producing node. byPart is indexed by partition (a map here
+	// was allocation-heavy — see BenchmarkMapCompletion); chunks are
+	// counted first so each backing array is allocated exactly once.
+	pairs := out.Pairs()
+	byPart := make([]mapChunk, j.numReduces)
+	if j.numReduces == 1 {
+		c := &byPart[0]
+		c.node = tt.node.ID
+		c.pairs = append(make([]KeyValue, 0, len(pairs)), pairs...)
+		c.bytes = out.Bytes()
+	} else {
+		counts := make([]int, j.numReduces)
+		for _, kv := range pairs {
+			counts[partition(kv.Key, j.numReduces)]++
 		}
-		c.pairs = append(c.pairs, kv)
-		c.bytes += int64(len(kv.Key) + kv.Value.EncodedSize())
+		for p, n := range counts {
+			if n > 0 {
+				byPart[p] = mapChunk{node: tt.node.ID, pairs: make([]KeyValue, 0, n)}
+			}
+		}
+		for _, kv := range pairs {
+			c := &byPart[partition(kv.Key, j.numReduces)]
+			c.pairs = append(c.pairs, kv)
+			c.bytes += int64(len(kv.Key) + kv.Value.EncodedSize())
+		}
 	}
-	for p, c := range byPart {
-		j.mapOutput[p] = append(j.mapOutput[p], *c)
+	for p := range byPart {
+		if len(byPart[p].pairs) > 0 {
+			j.mapOutput[p] = append(j.mapOutput[p], byPart[p])
+		}
 	}
 
 	j.Counters.MapInputRecords += t.Split.NumRecords()
@@ -292,6 +329,13 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 	j.Counters.BytesRead += t.Split.SizeBytes()
 	j.Counters.CompletedMaps++
 	j.Counters.mergeUser(out.UserCounters())
+	// The collector's pairs were copied into the chunks above; recycle
+	// its backing array unless it is shared — an async-scan result may
+	// be held by the cache or a singleflight future, and the inline
+	// path memoises when a cache is configured.
+	if scan == nil && (jt.cfg.MapOutputCache == nil || j.Spec.MemoKey == "") {
+		recycleCollector(out)
+	}
 	j.mapDurations = append(j.mapDurations, jt.eng.Now()-att.startTime)
 	if att.local {
 		j.Counters.LocalMaps++
@@ -341,30 +385,41 @@ func (jt *JobTracker) execMapper(t *MapTask) (*Collector, error) {
 	return jt.runMapper(t)
 }
 
-// runMapper executes the user's map logic over the split for real.
+// runMapper executes the user's map logic over the split for real,
+// inline on the simulator thread.
 func (jt *JobTracker) runMapper(t *MapTask) (*Collector, error) {
-	j := t.Job
-	mapper := j.Spec.NewMapper(j.Conf)
+	return scanSplit(t.Job.Spec, t.Job.Conf, t.Index, t.Split.Block.Source)
+}
+
+// scanSplit executes the user's map logic (and combiner) over one
+// split. It is a pure function of its arguments — all of them fixed
+// when a map attempt's phase chain starts — so the scan executor may
+// run it on a pool worker concurrently with the simulation; the inline
+// path calls it on the simulator thread.
+func scanSplit(spec JobSpec, conf *JobConf, splitIndex int, src data.Source) (*Collector, error) {
+	mapper := spec.NewMapper(conf)
 	if mapper == nil {
 		return nil, fmt.Errorf("mapreduce: NewMapper returned nil")
 	}
-	ctx := &TaskContext{Conf: j.Conf, SplitIndex: t.Index, Source: t.Split.Block.Source}
-	out := &Collector{}
+	ctx := &TaskContext{Conf: conf, SplitIndex: splitIndex, Source: src}
+	out := newCollector()
 
 	if sm, ok := mapper.(SplitMapper); ok {
 		if err := sm.MapSplit(ctx, out); err != nil {
+			recycleCollector(out)
 			return nil, err
 		}
-		return jt.combine(j, out)
+		return combine(spec, conf, out)
 	}
 
 	if su, ok := mapper.(SetupMapper); ok {
 		if err := su.Setup(ctx); err != nil {
+			recycleCollector(out)
 			return nil, err
 		}
 	}
 	var scanErr error
-	t.Split.Block.Source.Scan(func(rec data.Record) bool {
+	src.Scan(func(rec data.Record) bool {
 		if err := mapper.Map(rec, out); err != nil {
 			scanErr = err
 			return false
@@ -372,30 +427,36 @@ func (jt *JobTracker) runMapper(t *MapTask) (*Collector, error) {
 		return true
 	})
 	if scanErr != nil {
+		recycleCollector(out)
 		return nil, scanErr
 	}
 	if su, ok := mapper.(SetupMapper); ok {
 		if err := su.Cleanup(out); err != nil {
+			recycleCollector(out)
 			return nil, err
 		}
 	}
-	return jt.combine(j, out)
+	return combine(spec, conf, out)
 }
 
 // combine runs the job's combiner (when configured) over one map
 // task's output, grouping by key, and returns the combined collector.
-// User counters survive the combine.
-func (jt *JobTracker) combine(j *Job, out *Collector) (*Collector, error) {
-	if j.Spec.NewCombiner == nil || out.Len() == 0 {
+// User counters survive the combine; the pre-combine collector is
+// recycled once its pairs have been copied out.
+func combine(spec JobSpec, conf *JobConf, out *Collector) (*Collector, error) {
+	if spec.NewCombiner == nil || out.Len() == 0 {
 		return out, nil
 	}
-	combiner := j.Spec.NewCombiner(j.Conf)
+	combiner := spec.NewCombiner(conf)
 	if combiner == nil {
 		return out, nil
 	}
 	pairs := append([]KeyValue(nil), out.Pairs()...)
-	sort.SliceStable(pairs, func(i, k int) bool { return pairs[i].Key < pairs[k].Key })
-	combined := &Collector{counters: out.counters}
+	sortPairsStable(pairs)
+	combined := newCollector()
+	combined.counters = out.counters
+	out.counters = nil // ownership moved to combined
+	recycleCollector(out)
 	for i := 0; i < len(pairs); {
 		k := pairs[i].Key
 		var vals []data.Record
@@ -495,9 +556,12 @@ func (jt *JobTracker) launchReduce(tt *TaskTracker, t *ReduceTask) {
 		t.Job.Counters.ReduceOutputRecs += int64(out.Len())
 		t.Job.Counters.mergeUser(out.UserCounters())
 		j.output = append(j.output, out.Pairs()...)
-		// Reduce CPU for the user function, then the output write.
+		// Reduce CPU for the user function, then the output write. The
+		// collector's pairs were copied into j.output; recycle it.
 		work := float64(totalPairs) * costs.ReduceCPUPerRecordS
-		tt.node.CPU.Submit(work, writeOutput(out.Bytes()))
+		outBytes := out.Bytes()
+		recycleCollector(out)
+		tt.node.CPU.Submit(work, writeOutput(outBytes))
 	}
 	sortPhase := func() {
 		mark(trace.SpanShuffle)
@@ -524,7 +588,7 @@ func (jt *JobTracker) execReducer(t *ReduceTask, chunks []mapChunk) (*Collector,
 		reducer = IdentityReducer
 	}
 	pairs := sortPairs(chunks)
-	out := &Collector{}
+	out := newCollector()
 	for i := 0; i < len(pairs); {
 		k := pairs[i].Key
 		var vals []data.Record

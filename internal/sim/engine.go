@@ -13,6 +13,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Event is a scheduled callback. Events are ordered by time, with ties
@@ -54,6 +55,11 @@ type Engine struct {
 	free []*Event
 	// processed counts events that have fired, for diagnostics.
 	processed uint64
+	// blockedReal accumulates real (wall-clock) time spent inside
+	// RealBlock, for diagnostics: it is how long the simulation loop
+	// stalled waiting on real-world work (e.g. joining an async map
+	// scan), which never advances the virtual clock.
+	blockedReal time.Duration
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -117,6 +123,28 @@ func (e *Engine) Cancel(ev *Event) {
 
 // Stop makes Run return after the current event's callback completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// RealBlock runs fn, which may block on real-world (wall-clock) work —
+// typically joining a future computed off the simulator thread — and
+// accounts the real time spent. It is the one sanctioned way for
+// simulation code to wait on real work: the virtual clock is asserted
+// unchanged across the call, so real-time stalls can never leak into
+// simulated results, and the accumulated stall total is available via
+// BlockedReal for diagnostics. fn may schedule events but must not
+// advance the clock (only the event loop does that).
+func (e *Engine) RealBlock(fn func()) {
+	start := time.Now()
+	before := e.now
+	fn()
+	if e.now != before {
+		panic("sim: RealBlock callback advanced the virtual clock")
+	}
+	e.blockedReal += time.Since(start)
+}
+
+// BlockedReal returns the total real time the simulation loop has
+// spent stalled inside RealBlock calls.
+func (e *Engine) BlockedReal() time.Duration { return e.blockedReal }
 
 // Run processes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {

@@ -336,3 +336,30 @@ func TestRandomCancelProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestRealBlockAccumulatesAndGuardsClock(t *testing.T) {
+	e := NewEngine()
+	if e.BlockedReal() != 0 {
+		t.Fatalf("BlockedReal = %v on a fresh engine", e.BlockedReal())
+	}
+	ran := false
+	e.RealBlock(func() { ran = true })
+	if !ran {
+		t.Fatal("RealBlock did not run the callback")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("RealBlock advanced virtual time to %v", e.Now())
+	}
+	if e.BlockedReal() < 0 {
+		t.Fatalf("BlockedReal = %v", e.BlockedReal())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RealBlock accepted a callback that advanced the virtual clock")
+		}
+	}()
+	e.RealBlock(func() {
+		e.At(1, func() {})
+		e.Run()
+	})
+}

@@ -19,6 +19,12 @@ const (
 	CounterMapLocal       = "map.local"
 	CounterMapNonLocal    = "map.nonlocal"
 	CounterPolicyEvals    = "policy.evaluations"
+	// CounterScanAsync counts map attempts whose record scan was joined
+	// from the scan executor; CounterScanStalls counts the subset whose
+	// join actually blocked on real compute (real time slower than
+	// simulated time).
+	CounterScanAsync  = "map.scan_async"
+	CounterScanStalls = "map.scan_stalls"
 
 	HistMapDuration    = "map.duration_s"
 	HistMapQueueWait   = "map.queue_wait_s"
