@@ -1,0 +1,182 @@
+// Command benchgate compares `go test -bench` output against the
+// perf-trajectory budgets recorded in BENCH_results.json and exits
+// non-zero on regression, so CI catches hot-path slowdowns the unit
+// tests cannot see.
+//
+// Usage:
+//
+//	go test ./internal/sim ./internal/mapreduce -bench ... | benchgate [-budgets FILE] [-tolerance F] [INPUT]
+//
+// INPUT is a file holding the benchmark output ("-" or absent =
+// stdin). Budgets come from the "bench_budgets" object of -budgets
+// (default BENCH_results.json):
+//
+//	"bench_budgets": {
+//	  "budgets": {
+//	    "BenchmarkEventThroughput": {"ns_per_op": 63.2, "allocs_per_op": 0}
+//	  }
+//	}
+//
+// The gate is one-sided: a benchmark fails when its measured ns/op
+// exceeds budget x (1 + tolerance), or its allocs/op exceed the
+// integer allocation budget scaled the same way (a 0 budget therefore
+// pins zero allocations). Running faster than budget always passes —
+// budgets are ratchets, not targets. Every budgeted benchmark must
+// appear in the input; a missing one fails the gate so renames don't
+// silently drop coverage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// budget is one benchmark's ceiling from BENCH_results.json.
+type budget struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// result is one parsed `go test -bench` output line.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	hasAllocs   bool
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEventThroughput-4  17983382  63.2 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.eE+]+) ns/op(?:\s+[\d.eE+]+ [MG]?B/s)?(?:\s+([\d.eE+]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	budgetsPath := flag.String("budgets", "BENCH_results.json", "JSON file whose bench_budgets object holds the per-benchmark ceilings")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression over budget before failing")
+	flag.Parse()
+
+	budgets, err := loadBudgets(*budgetsPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(budgets) == 0 {
+		fatal(fmt.Errorf("%s has no bench_budgets entries", *budgetsPath))
+	}
+
+	in := os.Stdin
+	if arg := flag.Arg(0); arg != "" && arg != "-" {
+		f, err := os.Open(arg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		bud := budgets[name]
+		res, ok := results[name]
+		if !ok {
+			fmt.Printf("FAIL %s: not found in benchmark output (renamed or no longer runs?)\n", name)
+			failed = true
+			continue
+		}
+		nsLimit := bud.NsPerOp * (1 + *tolerance)
+		allocLimit := int64(math.Floor(float64(bud.AllocsPerOp) * (1 + *tolerance)))
+		ok = true
+		if res.nsPerOp > nsLimit {
+			fmt.Printf("FAIL %s: %.1f ns/op exceeds budget %.1f ns/op (+%d%% tolerance -> limit %.1f)\n",
+				name, res.nsPerOp, bud.NsPerOp, int(*tolerance*100), nsLimit)
+			ok, failed = false, true
+		}
+		if res.hasAllocs && res.allocsPerOp > allocLimit {
+			fmt.Printf("FAIL %s: %d allocs/op exceeds budget %d allocs/op (limit %d)\n",
+				name, res.allocsPerOp, bud.AllocsPerOp, allocLimit)
+			ok, failed = false, true
+		}
+		if ok {
+			allocs := "?"
+			if res.hasAllocs {
+				allocs = strconv.FormatInt(res.allocsPerOp, 10)
+			}
+			fmt.Printf("ok   %s: %.1f ns/op (budget %.1f), %s allocs/op (budget %d)\n",
+				name, res.nsPerOp, bud.NsPerOp, allocs, bud.AllocsPerOp)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadBudgets extracts the bench_budgets object, ignoring the rest of
+// the trajectory file.
+func loadBudgets(path string) (map[string]budget, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		BenchBudgets struct {
+			Budgets map[string]budget `json:"budgets"`
+		} `json:"bench_budgets"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.BenchBudgets.Budgets, nil
+}
+
+// parseBench collects benchmark result lines keyed by name with the
+// GOMAXPROCS suffix stripped; repeated runs keep the last measurement.
+func parseBench(f *os.File) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := result{nsPerOp: ns}
+		if m[4] != "" {
+			n, err := strconv.ParseInt(m[4], 10, 64)
+			if err == nil {
+				r.allocsPerOp, r.hasAllocs = n, true
+			}
+		}
+		out[m[1]] = r
+	}
+	return out, sc.Err()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -6,8 +6,10 @@
 // Usage:
 //
 //	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair]
-//	      [-trace-out FILE] [-report-out FILE] [-sample-interval S] [-e "SQL"]
-//	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS] ...
+//	      [-trace-out FILE] [-report-out FILE] [-sample-interval S]
+//	      [-log-out FILE] [-log-level LEVEL] [-e "SQL"]
+//	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS] [-pprof] ...
+//	dynmr explain [-policy NAME] [-k N] [-queries N] [-json] [-out FILE] ...
 //
 // Without -e, statements are read from stdin (one per line, ';'
 // optional). With -trace-out, a Chrome trace-event JSON file covering
@@ -15,11 +17,18 @@
 // written at exit — load it in https://ui.perfetto.dev or
 // chrome://tracing. With -report-out, a self-contained HTML run report
 // (utilization time-series, slot-occupancy Gantt, policy decision log)
-// is written at exit.
+// is written at exit. With -log-out, the runtime's structured log
+// stream (job lifecycle, Input Provider decisions, query execution) is
+// written as NDJSON, each record stamped with the virtual clock.
 //
 // The serve subcommand runs a paced loop of sampling queries while
 // exposing live observability over HTTP: Prometheus text exposition on
-// /metrics and JSON run status on /status.
+// /metrics and JSON run status on /status (plus net/http/pprof under
+// /debug/pprof/ with -pprof).
+//
+// The explain subcommand runs sampling queries with tracing on and
+// prints the post-run job diagnosis: per-job critical path, time
+// breakdown and anomalies.
 package main
 
 import (
@@ -33,12 +42,19 @@ import (
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/vlog"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "explain":
+			explainMain(os.Args[2:])
+			return
+		}
 	}
 	scale := flag.Int("scale", 1, "TPC-H scale factor of the generated LINEITEM table")
 	skewZ := flag.Float64("skew", 1, "Zipf exponent of the planted-match distribution (0, 1 or 2)")
@@ -51,6 +67,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) at exit")
 	reportOut := flag.String("report-out", "", "write a self-contained HTML run report at exit")
 	sampleInterval := flag.Float64("sample-interval", 0, "utilization sampler cadence in virtual seconds for -report-out (0 = 30s default)")
+	logOut := flag.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
+	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	flag.Parse()
 
 	opts := clusterOpts(*multi, *fair)
@@ -60,6 +78,8 @@ func main() {
 	if *reportOut != "" {
 		opts = append(opts, dynamicmr.WithUtilizationSampling(*sampleInterval))
 	}
+	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
+	defer logClose()
 	c, err := dynamicmr.NewCluster(opts...)
 	if err != nil {
 		fatal(err)
@@ -150,6 +170,28 @@ func printResult(c *dynamicmr.Cluster, res *hive.Result, maxRows int) {
 			fmt.Printf("; policy %s, %d provider evaluations", res.Client.Policy().Name, res.Client.Evaluations())
 		}
 		fmt.Printf("; cluster clock %.2fs\n", c.Now())
+	}
+}
+
+// withLogFlags appends WithLogging when -log-out is set; the returned
+// closer flushes the log file at exit.
+func withLogFlags(opts []dynamicmr.Option, path, levelName string) ([]dynamicmr.Option, func()) {
+	if path == "" {
+		return opts, func() {}
+	}
+	level, err := vlog.ParseLevel(levelName)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return append(opts, dynamicmr.WithLogging(f, level)), func() {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote virtual-clock log to %s\n", path)
 	}
 }
 

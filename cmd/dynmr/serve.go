@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -32,11 +33,17 @@ func serveMain(args []string) {
 	paceMS := fs.Int("pace-ms", 500, "real milliseconds to sleep between queries (scrape window)")
 	sampleInterval := fs.Float64("sample-interval", 5, "utilization sampler cadence in virtual seconds (single queries are short, so the default is denser than the workload figures' 30s)")
 	reportOut := fs.String("report-out", "", "write the HTML run report to FILE after the query loop finishes")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
+	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
+	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	fs.Parse(args)
 
-	c, err := dynamicmr.NewCluster(append(clusterOpts(*multi, *fair),
+	opts := append(clusterOpts(*multi, *fair),
 		dynamicmr.WithTracing(trace.Config{}),
-		dynamicmr.WithUtilizationSampling(*sampleInterval))...)
+		dynamicmr.WithUtilizationSampling(*sampleInterval))
+	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
+	defer logClose()
+	c, err := dynamicmr.NewCluster(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -48,7 +55,21 @@ func serveMain(args []string) {
 	}
 
 	srv := obs.NewServer(c.Sampler())
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Register the pprof handlers explicitly on our own mux rather
+		// than importing the package for its DefaultServeMux side
+		// effect, so profiling stays opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fatal(err)

@@ -8,6 +8,7 @@
 //	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
 //	            [-mode quick|paper] [-j N] [-scan-workers N] [-policies LIST] [-csv]
 //	            [-trace-out DIR] [-report-out DIR] [-sample-interval S]
+//	            [-diag-out DIR] [-log-out FILE] [-log-level LEVEL]
 //	            [-bench-json FILE]
 //
 // -j runs up to N sweep cells concurrently (default runtime.NumCPU).
@@ -41,6 +42,18 @@
 // overrides the sampler cadence (virtual seconds; default 5 s for the
 // single-user figure-5 cells, 30 s for the workload figures).
 //
+// With -diag-out, every figure cell (5-8) additionally runs with
+// tracing enabled and writes its per-job diagnosis (critical path,
+// time breakdown, anomalies) as a CSV file into DIR (created if
+// missing). The diagnosis invariants — critical path tiles the
+// makespan, breakdown components sum to it — are enforced per cell.
+//
+// With -log-out, the sweeps' structured log stream (job lifecycle,
+// Input Provider decisions, query execution) is written to FILE as
+// NDJSON, each record stamped with the originating cell's virtual
+// clock; -log-level gates the records (debug includes every Input
+// Provider decision).
+//
 // Quick mode (default) shrinks datasets and measurement windows about
 // an order of magnitude and finishes in minutes; paper mode uses the
 // full §V parameters (TPC-H scales 5-100, k = 10 000, 10 users,
@@ -57,6 +70,7 @@ import (
 	"time"
 
 	"dynamicmr/internal/experiments"
+	"dynamicmr/internal/vlog"
 )
 
 func main() {
@@ -70,6 +84,9 @@ func main() {
 	scanWorkers := flag.Int("scan-workers", runtime.NumCPU(), "scan-executor pool size for off-sim-thread map scans (0 = inline; output is identical either way)")
 	policies := flag.String("policies", "", "comma-separated subset of Table I policies to sweep (default: all)")
 	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
+	diagOut := flag.String("diag-out", "", "directory for per-cell job-diagnosis CSVs (figures 5-8; enables tracing and enforces the diagnosis invariants)")
+	logOut := flag.String("log-out", "", "write the sweeps' virtual-clock NDJSON log stream to FILE")
+	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	flag.Parse()
 
 	var opt experiments.Options
@@ -95,6 +112,28 @@ func main() {
 			os.Exit(1)
 		}
 		opt.ReportDir = *reportOut
+	}
+	if *diagOut != "" {
+		if err := os.MkdirAll(*diagOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opt.DiagDir = *diagOut
+	}
+	if *logOut != "" {
+		level, err := vlog.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt.LogWriter = f
+		opt.LogLevel = level
 	}
 	opt.SampleIntervalS = *sampleInterval
 	opt.Parallelism = *jobs

@@ -3,6 +3,7 @@ package dynamicmr
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 
 	"dynamicmr/internal/cluster"
@@ -10,6 +11,7 @@ import (
 	"dynamicmr/internal/data"
 	"dynamicmr/internal/dataset"
 	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/diag"
 	"dynamicmr/internal/expr"
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
@@ -19,6 +21,7 @@ import (
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/vlog"
 )
 
 // DatasetSpec describes a LINEITEM dataset to generate and load.
@@ -49,6 +52,8 @@ type config struct {
 	policies       *core.Registry
 	sample         bool
 	sampleInterval float64
+	logW           io.Writer
+	logLevel       slog.Leveler
 }
 
 // WithHardware replaces the default 10-node paper cluster.
@@ -108,6 +113,20 @@ func WithTracing(tc trace.Config) Option {
 	}
 }
 
+// WithLogging routes the runtime's structured log stream — job
+// lifecycle, Input Provider decisions, query execution — to w as
+// NDJSON, one record per line, each stamped with the virtual clock
+// ("vt" attribute; see internal/vlog for the attribute contract).
+// level gates records (nil means slog.LevelInfo). Without this
+// option nothing is ever written: library code defaults to a discard
+// logger.
+func WithLogging(w io.Writer, level slog.Leveler) Option {
+	return func(c *config) {
+		c.logW = w
+		c.logLevel = level
+	}
+}
+
 // WithUtilizationSampling attaches a virtual-clock utilization sampler
 // to the cluster: every intervalS virtual seconds (0 picks the default
 // 30 s cadence) it snapshots per-node CPU, disk and slot occupancy,
@@ -155,12 +174,24 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	eng := sim.NewEngine()
 	hw := cluster.New(eng, cfg.hw)
+	if cfg.logW != nil {
+		level := cfg.logLevel
+		if level == nil {
+			level = slog.LevelInfo
+		}
+		// The logger binds to this cluster's engine, so it can only be
+		// built here, after the clock exists.
+		cfg.runtime.Logger = vlog.New(vlog.LockWriter(cfg.logW), level, eng.Now)
+	}
+	jt := mapreduce.NewJobTracker(hw, cfg.runtime, cfg.scheduler)
+	catalog := hive.NewCatalog()
+	catalog.SetLogger(jt.Logger())
 	c := &Cluster{
 		eng:      eng,
 		hw:       hw,
 		fs:       dfs.New(hw),
-		jt:       mapreduce.NewJobTracker(hw, cfg.runtime, cfg.scheduler),
-		catalog:  hive.NewCatalog(),
+		jt:       jt,
+		catalog:  catalog,
 		policies: cfg.policies,
 		sessions: make(map[string]*hive.Session),
 		scanPool: cfg.runtime.ScanExecutor,
@@ -211,6 +242,20 @@ func (c *Cluster) WriteReport(w io.Writer, title string, params [][2]string) err
 		return fmt.Errorf("dynamicmr: WriteReport requires WithUtilizationSampling")
 	}
 	return obs.NewReport(title, c.sampler, params).WriteHTML(w)
+}
+
+// Diagnose runs the post-run job diagnosis engine over everything the
+// cluster's tracer recorded: per job, the critical path, the time
+// breakdown (whose components sum to the makespan) and any detected
+// anomalies (stragglers, speculative waste, scan stalls). It requires
+// WithTracing. The report can be re-generated at any point; it covers
+// the jobs finished so far.
+func (c *Cluster) Diagnose() (*diag.Report, error) {
+	rep := diag.FromTracer(c.jt.Tracer())
+	if rep == nil {
+		return nil, fmt.Errorf("dynamicmr: Diagnose requires WithTracing")
+	}
+	return rep, nil
 }
 
 // Tables lists the registered table names.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/vlog"
 )
 
 // Decision records one Input Provider consultation, for diagnostics and
@@ -151,9 +154,22 @@ func (c *JobClient) policyName() string {
 }
 
 // auditDecision records one Input Provider evaluation — its inputs and
-// verdict — in the tracer's audit log. No-op when tracing is disabled.
+// verdict — in the tracer's audit log and the structured log stream.
+// No-op when both tracing and logging are disabled.
 func (c *JobClient) auditDecision(verdict string, status mapreduce.JobStatus,
 	cs mapreduce.ClusterStatus, grab, added int, progressPct float64) {
+	if log := c.jt.Logger(); log.Enabled(context.Background(), slog.LevelDebug) {
+		log.Debug("input provider decision",
+			slog.String(vlog.KeyComponent, "jobclient"),
+			slog.Int(vlog.KeyJob, status.JobID),
+			slog.String(vlog.KeyPolicy, c.policyName()),
+			slog.String(vlog.KeyVerdict, verdict),
+			slog.Int("added", added),
+			slog.Int("grab_limit", grab),
+			slog.Int("completed_maps", status.CompletedMaps),
+			slog.Int("pending_maps", status.PendingMaps),
+			slog.Int("free_slots", cs.AvailableMapSlots()))
+	}
 	tr := c.jt.Tracer()
 	if !tr.Enabled() {
 		return

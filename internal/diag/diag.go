@@ -1,0 +1,410 @@
+// Package diag is the post-run job diagnosis engine: it consumes the
+// trace span stream and the policy decision audit log and produces,
+// per job, a critical path (the chain of attempts and waits whose
+// durations sum to the makespan), a time breakdown partitioning that
+// makespan into wait/read/compute/shuffle/reduce categories, and a
+// set of detected anomalies (stragglers, speculative-kill waste,
+// scan-stall spikes). It depends only on internal/trace, so every
+// layer above (obs reports, the facade, both CLIs, experiments) can
+// use it without import cycles.
+package diag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynamicmr/internal/trace"
+)
+
+// Critical-path node kinds. The schema is part of the external
+// contract (dynmr explain -json, per-cell CSVs); see DESIGN.md.
+const (
+	// KindSlotWait is time an enqueued task spent waiting for a free
+	// slot (the queue-wait span) plus scheduling gaps between attempts
+	// on the path (e.g. a reduce waiting for the next heartbeat after
+	// the map phase finished).
+	KindSlotWait = "slot-wait"
+	// KindProviderWait is time the job had no runnable work because
+	// the Input Provider had not granted splits yet: the gap ends at a
+	// GROW/INIT decision, or WAIT/SKIP verdicts fall inside it.
+	KindProviderWait = "provider-wait"
+	// KindStartup is task JVM/process startup.
+	KindStartup = "startup"
+	// KindDiskReadLocal / KindDiskReadRemote split the disk-read phase
+	// by whether the attempt read its split from the local node (no
+	// net-read phase) or from a remote replica.
+	KindDiskReadLocal  = "disk-read-local"
+	KindDiskReadRemote = "disk-read-remote"
+	// KindNetRead is the network transfer of a non-local split.
+	KindNetRead = "net-read"
+	// KindMapCPU is map-side predicate evaluation / record processing.
+	KindMapCPU = "map-cpu"
+	// KindShuffle is the reduce-side fetch of map output.
+	KindShuffle = "shuffle"
+	// KindSort is the reduce-side merge sort.
+	KindSort = "sort"
+	// KindReduceCPU is the reduce function proper.
+	KindReduceCPU = "reduce-cpu"
+	// KindOutputWrite is the reduce output write.
+	KindOutputWrite = "output-write"
+	// KindUntraced covers holes the extractor could not attribute
+	// (e.g. phase spans evicted from a saturated trace ring).
+	KindUntraced = "untraced"
+)
+
+// Anomaly kinds.
+const (
+	AnomalyStraggler        = "straggler"
+	AnomalySpeculativeWaste = "speculative-waste"
+	AnomalyScanStalls       = "scan-stalls"
+)
+
+// PathNode is one interval on a job's critical path. Nodes tile
+// [submit, finish] exactly: node i's End equals node i+1's Start, the
+// first Start is the submit time and the last End the finish time.
+type PathNode struct {
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start_s"`
+	End   float64 `json:"end_s"`
+	// Task/Attempt/Node identify the attempt a phase node belongs to;
+	// wait/gap nodes carry the *downstream* attempt (the one the wait
+	// delayed) where known, else -1/0/-1.
+	Task    int    `json:"task"`
+	Attempt int    `json:"attempt"`
+	Node    int    `json:"node"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Duration returns the node length in virtual seconds.
+func (n PathNode) Duration() float64 { return n.End - n.Start }
+
+// Breakdown partitions a job's makespan. Fields are virtual seconds;
+// Total() always equals the makespan (pinned by CheckInvariants and
+// by tests), because the breakdown is integrated directly over the
+// critical path.
+type Breakdown struct {
+	SlotWaitS       float64 `json:"slot_wait_s"`
+	ProviderWaitS   float64 `json:"provider_wait_s"`
+	StartupS        float64 `json:"startup_s"`
+	DataReadLocalS  float64 `json:"data_read_local_s"`
+	DataReadRemoteS float64 `json:"data_read_remote_s"`
+	MapComputeS     float64 `json:"map_compute_s"`
+	ShuffleS        float64 `json:"shuffle_s"`
+	ReduceS         float64 `json:"reduce_s"`
+	UntracedS       float64 `json:"untraced_s"`
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.SlotWaitS + b.ProviderWaitS + b.StartupS + b.DataReadLocalS +
+		b.DataReadRemoteS + b.MapComputeS + b.ShuffleS + b.ReduceS + b.UntracedS
+}
+
+// add accumulates a path node into the matching category.
+func (b *Breakdown) add(n PathNode) {
+	d := n.Duration()
+	switch n.Kind {
+	case KindSlotWait:
+		b.SlotWaitS += d
+	case KindProviderWait:
+		b.ProviderWaitS += d
+	case KindStartup:
+		b.StartupS += d
+	case KindDiskReadLocal:
+		b.DataReadLocalS += d
+	case KindDiskReadRemote, KindNetRead:
+		b.DataReadRemoteS += d
+	case KindMapCPU:
+		b.MapComputeS += d
+	case KindShuffle:
+		b.ShuffleS += d
+	case KindSort, KindReduceCPU, KindOutputWrite:
+		b.ReduceS += d
+	default:
+		b.UntracedS += d
+	}
+}
+
+// Anomaly is one detected irregularity, either job-scoped (straggler,
+// speculative waste) or cluster-scoped (scan stalls; Job == -1).
+type Anomaly struct {
+	Kind string `json:"kind"`
+	Job  int    `json:"job"`
+	// Task/Attempt/Node are set for straggler anomalies, else -1/0/-1.
+	Task    int `json:"task"`
+	Attempt int `json:"attempt"`
+	Node    int `json:"node"`
+	// Value is the measured quantity (seconds for stragglers and
+	// speculative waste, stall ratio for scan stalls) and Threshold
+	// the bound it exceeded.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail"`
+}
+
+// JobDiagnosis is the full diagnosis of one job.
+type JobDiagnosis struct {
+	JobID   int     `json:"job"`
+	Outcome string  `json:"outcome"` // "ok" or "failed"
+	SubmitS float64 `json:"submit_s"`
+	FinishS float64 `json:"finish_s"`
+	// MakespanS is FinishS - SubmitS (the job span's extent).
+	MakespanS    float64    `json:"makespan_s"`
+	CriticalPath []PathNode `json:"critical_path"`
+	Breakdown    Breakdown  `json:"breakdown"`
+	Anomalies    []Anomaly  `json:"anomalies"`
+}
+
+// SchemaVersion identifies the JSON layout emitted by WriteJSON;
+// consumers (CI validation, downstream tooling) key on it.
+const SchemaVersion = "dynamicmr.diag/1"
+
+// Report is the diagnosis of every finished job visible in the trace,
+// plus cluster-level context.
+type Report struct {
+	Schema string         `json:"schema"`
+	Jobs   []JobDiagnosis `json:"jobs"`
+	// ClusterAnomalies holds anomalies not tied to one job.
+	ClusterAnomalies []Anomaly `json:"cluster_anomalies"`
+	// Counters snapshots the trace counter registry.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// DroppedSpans is the trace ring's eviction count; when non-zero,
+	// paths may contain untraced filler.
+	DroppedSpans int64 `json:"dropped_spans"`
+}
+
+// Config tunes the analyzers. The zero value selects defaults.
+type Config struct {
+	// StragglerSigma is k in the "duration > mean + k*sigma" straggler
+	// rule. Default 3.
+	StragglerSigma float64
+	// StragglerMinAttempts is the minimum number of completed map
+	// attempts in a job before the straggler rule applies. Default 4.
+	StragglerMinAttempts int
+	// ScanStallRatio is the map.scan_stalls / map.scan_async fraction
+	// above which a cluster scan-stall anomaly is reported. Default
+	// 0.5.
+	ScanStallRatio float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StragglerSigma <= 0 {
+		c.StragglerSigma = 3
+	}
+	if c.StragglerMinAttempts <= 0 {
+		c.StragglerMinAttempts = 4
+	}
+	if c.ScanStallRatio <= 0 {
+		c.ScanStallRatio = 0.5
+	}
+	return c
+}
+
+// FromTracer diagnoses every job recorded by tr using the default
+// Config. It returns nil when tracing is disabled (nil tracer).
+func FromTracer(tr *trace.Tracer) *Report {
+	if !tr.Enabled() {
+		return nil
+	}
+	return Analyze(tr.Spans(), tr.PolicyDecisions(), tr.Counters(), tr.Dropped(), Config{})
+}
+
+// Analyze builds a Report from raw trace data. spans must be in
+// recording order (Tracer.Spans() order); decisions likewise.
+func Analyze(spans []trace.Span, decisions []trace.PolicyDecision,
+	counters map[string]int64, dropped int64, cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	jobs := collectJobs(spans, decisions)
+	rep := &Report{Schema: SchemaVersion, Counters: counters, DroppedSpans: dropped}
+	for _, j := range jobs {
+		d := diagnoseJob(j, cfg)
+		rep.Jobs = append(rep.Jobs, d)
+	}
+	sort.Slice(rep.Jobs, func(a, b int) bool { return rep.Jobs[a].JobID < rep.Jobs[b].JobID })
+	rep.ClusterAnomalies = clusterAnomalies(counters, cfg)
+	return rep
+}
+
+// attempt pairs an enclosing attempt span with its phase chain.
+type attempt struct {
+	span      trace.Span
+	kind      string // trace.CatMap or trace.CatReduce
+	phases    []trace.Span
+	queueWait *trace.Span
+}
+
+// jobData is everything collectJobs gathered for one job.
+type jobData struct {
+	id       int
+	span     trace.Span // the enclosing SpanJob span
+	attempts []attempt  // ok + failed attempts, both kinds
+	killed   []trace.Span
+	// okMapDurations feeds the straggler detector.
+	okMaps []trace.Span
+	// growTimes / waitTimes are decision timestamps for gap
+	// classification, sorted ascending.
+	growTimes []float64
+	waitTimes []float64
+}
+
+type attemptKey struct {
+	task, att int
+	cat       string
+}
+
+func collectJobs(spans []trace.Span, decisions []trace.PolicyDecision) []*jobData {
+	byID := make(map[int]*jobData)
+	get := func(id int) *jobData {
+		j := byID[id]
+		if j == nil {
+			j = &jobData{id: id, span: trace.Span{Job: id, Start: math.NaN()}}
+			byID[id] = j
+		}
+		return j
+	}
+	phases := make(map[int]map[attemptKey][]trace.Span)
+	queueWaits := make(map[int]map[attemptKey]trace.Span)
+	isPhase := func(name string) bool {
+		switch name {
+		case trace.SpanStartup, trace.SpanDiskRead, trace.SpanNetRead, trace.SpanMapCPU,
+			trace.SpanShuffle, trace.SpanSort, trace.SpanReduceCPU, trace.SpanOutputWrite:
+			return true
+		}
+		return false
+	}
+	for _, s := range spans {
+		if s.Job < 0 {
+			continue
+		}
+		switch {
+		case s.Name == trace.SpanJob:
+			j := get(s.Job)
+			j.span = s
+		case s.Name == trace.SpanMapAttempt || s.Name == trace.SpanReduceAttempt:
+			j := get(s.Job)
+			switch s.Outcome {
+			case trace.OutcomeOK, trace.OutcomeFailed:
+				j.attempts = append(j.attempts, attempt{span: s, kind: s.Cat})
+				if s.Name == trace.SpanMapAttempt && s.Outcome == trace.OutcomeOK {
+					j.okMaps = append(j.okMaps, s)
+				}
+			case trace.OutcomeKilled:
+				j.killed = append(j.killed, s)
+			}
+		case s.Name == trace.SpanQueueWait:
+			m := queueWaits[s.Job]
+			if m == nil {
+				m = make(map[attemptKey]trace.Span)
+				queueWaits[s.Job] = m
+			}
+			m[attemptKey{s.Task, s.Attempt, s.Cat}] = s
+		case isPhase(s.Name) && (s.Cat == trace.CatMap || s.Cat == trace.CatReduce):
+			m := phases[s.Job]
+			if m == nil {
+				m = make(map[attemptKey][]trace.Span)
+				phases[s.Job] = m
+			}
+			k := attemptKey{s.Task, s.Attempt, s.Cat}
+			m[k] = append(m[k], s)
+		}
+	}
+	for _, d := range decisions {
+		j := get(d.JobID)
+		switch d.Verdict {
+		case trace.VerdictGrow, trace.VerdictInit:
+			j.growTimes = append(j.growTimes, d.Time)
+		case trace.VerdictWait, trace.VerdictSkip:
+			j.waitTimes = append(j.waitTimes, d.Time)
+		}
+	}
+	var out []*jobData
+	for _, j := range byID {
+		// Jobs without an enclosing job span (still running, or the
+		// span was evicted) cannot be diagnosed; skip them.
+		if math.IsNaN(j.span.Start) {
+			continue
+		}
+		for i := range j.attempts {
+			a := &j.attempts[i]
+			k := attemptKey{a.span.Task, a.span.Attempt, a.span.Cat}
+			ph := phases[j.id][k]
+			sort.Slice(ph, func(x, y int) bool { return ph[x].Start < ph[y].Start })
+			a.phases = ph
+			if qw, ok := queueWaits[j.id][k]; ok {
+				q := qw
+				a.queueWait = &q
+			}
+		}
+		sort.Float64s(j.growTimes)
+		sort.Float64s(j.waitTimes)
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+func diagnoseJob(j *jobData, cfg Config) JobDiagnosis {
+	d := JobDiagnosis{
+		JobID:     j.id,
+		Outcome:   j.span.Outcome,
+		SubmitS:   j.span.Start,
+		FinishS:   j.span.End,
+		MakespanS: j.span.End - j.span.Start,
+	}
+	if d.Outcome == "" {
+		d.Outcome = trace.OutcomeOK
+	}
+	d.CriticalPath = criticalPath(j)
+	for _, n := range d.CriticalPath {
+		d.Breakdown.add(n)
+	}
+	d.Anomalies = jobAnomalies(j, cfg)
+	return d
+}
+
+// CheckInvariants verifies the pinned diagnosis contract for every
+// job: the critical path tiles [submit, finish] contiguously and the
+// breakdown components sum to the makespan.
+func (r *Report) CheckInvariants() error {
+	for _, j := range r.Jobs {
+		if err := j.checkInvariants(); err != nil {
+			return fmt.Errorf("job %d: %w", j.JobID, err)
+		}
+	}
+	return nil
+}
+
+func (j JobDiagnosis) checkInvariants() error {
+	tol := 1e-6 * math.Max(1, j.MakespanS)
+	if j.MakespanS < 0 {
+		return fmt.Errorf("negative makespan %g", j.MakespanS)
+	}
+	if j.MakespanS > tol && len(j.CriticalPath) == 0 {
+		return fmt.Errorf("empty critical path for makespan %g", j.MakespanS)
+	}
+	if n := len(j.CriticalPath); n > 0 {
+		if math.Abs(j.CriticalPath[0].Start-j.SubmitS) > tol {
+			return fmt.Errorf("path starts at %g, submit is %g", j.CriticalPath[0].Start, j.SubmitS)
+		}
+		if math.Abs(j.CriticalPath[n-1].End-j.FinishS) > tol {
+			return fmt.Errorf("path ends at %g, finish is %g", j.CriticalPath[n-1].End, j.FinishS)
+		}
+		for i := 0; i+1 < n; i++ {
+			if math.Abs(j.CriticalPath[i].End-j.CriticalPath[i+1].Start) > tol {
+				return fmt.Errorf("path gap between node %d (end %g) and node %d (start %g)",
+					i, j.CriticalPath[i].End, i+1, j.CriticalPath[i+1].Start)
+			}
+		}
+		for i, nd := range j.CriticalPath {
+			if nd.End < nd.Start-tol {
+				return fmt.Errorf("node %d has negative duration [%g, %g]", i, nd.Start, nd.End)
+			}
+		}
+	}
+	if diff := math.Abs(j.Breakdown.Total() - j.MakespanS); diff > tol {
+		return fmt.Errorf("breakdown total %g != makespan %g (diff %g)",
+			j.Breakdown.Total(), j.MakespanS, diff)
+	}
+	return nil
+}

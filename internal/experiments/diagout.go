@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynamicmr/internal/diag"
+	"dynamicmr/internal/mapreduce"
+)
+
+// writeCellDiag diagnoses every job a cell's runtime traced and writes
+// the per-job breakdown CSV into opt.DiagDir (no-op when diagnosis is
+// off). The diagnosis invariants — critical path tiles the makespan,
+// breakdown components sum to it — are enforced here, so any figure
+// 5-8 cell that violates them fails its sweep loudly instead of
+// emitting a silently-wrong CSV.
+func writeCellDiag(opt Options, name string, jt *mapreduce.JobTracker) error {
+	if opt.DiagDir == "" {
+		return nil
+	}
+	rep := diag.FromTracer(jt.Tracer())
+	if rep == nil {
+		return fmt.Errorf("experiments: diag requested but cell %s ran untraced", name)
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		return fmt.Errorf("experiments: diag invariants (%s): %w", name, err)
+	}
+	f, err := os.Create(filepath.Join(opt.DiagDir, name+"_diag.csv"))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJobsCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

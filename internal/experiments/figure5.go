@@ -86,7 +86,7 @@ func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 	}
 	cell := Figure5Cell{Z: z, Scale: scale, Policy: pol.Name}
 	for run := 0; run < opt.Runs; run++ {
-		r := newRig(nil, false, sh, opt.reporting()) // single-user: 4 slots/node
+		r := newRig(nil, false, sh, opt.traced()) // single-user: 4 slots/node
 		// Report the cell's final run: single-user jobs are short, so a
 		// 2 s default cadence keeps the time-series dense (the report
 		// strides long series back down, so paper mode stays viewable).
@@ -142,6 +142,11 @@ func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 		cell.ResponseS += job.ResponseTime()
 		cell.PartitionsProcessed += float64(job.CompletedMaps())
 		cell.SampleSize += float64(len(job.Output()))
+		if run == opt.Runs-1 {
+			if err := writeCellDiag(opt, fmt.Sprintf("figure5_z%g_%dx_%s", z, scale, pol.Name), r.jt); err != nil {
+				return Figure5Cell{}, err
+			}
+		}
 	}
 	n := float64(opt.Runs)
 	cell.ResponseS /= n

@@ -62,7 +62,7 @@ func Figure6(opt Options) (*Figure6Result, error) {
 }
 
 func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure6Cell, error) {
-	r := newRig(nil, true, sh, opt.reporting()) // 16 map slots/node
+	r := newRig(nil, true, sh, opt.traced()) // 16 map slots/node
 	users := make([]*workload.User, opt.Users)
 	for u := 0; u < opt.Users; u++ {
 		// Per-user dataset copy (§V-D: "each works against a different
@@ -108,6 +108,9 @@ func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure
 			{"users", fmt.Sprintf("%d", opt.Users)},
 			{"window", fmt.Sprintf("%gs warmup + %gs measure", opt.WarmupS, opt.MeasureS)},
 		}); err != nil {
+		return Figure6Cell{}, err
+	}
+	if err := writeCellDiag(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r.jt); err != nil {
 		return Figure6Cell{}, err
 	}
 	cs, _ := results.Class("Sampling")

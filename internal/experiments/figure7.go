@@ -86,7 +86,7 @@ func heterogeneous(opt Options, mkSched func() mapreduce.TaskScheduler, schedNam
 
 func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskScheduler,
 	frac float64, policy string) (Figure7Cell, error) {
-	r := newRig(sched, true, sh, opt.reporting())
+	r := newRig(sched, true, sh, opt.traced())
 	nSampling := int(frac*float64(opt.Users) + 0.5)
 	if nSampling < 1 {
 		nSampling = 1
@@ -153,6 +153,9 @@ func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskSchedul
 			{"users", fmt.Sprintf("%d", opt.Users)},
 			{"window", fmt.Sprintf("%gs warmup + %gs measure", opt.WarmupS, opt.MeasureS)},
 		}); err != nil {
+		return Figure7Cell{}, err
+	}
+	if err := writeCellDiag(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r.jt); err != nil {
 		return Figure7Cell{}, err
 	}
 	samp, _ := results.Class("Sampling")

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 
 	"dynamicmr/internal/core"
 	"dynamicmr/internal/dataset"
@@ -60,6 +62,21 @@ type Options struct {
 	// Each cell owns a private tracer and observability sampler, so
 	// reports stay isolated under Parallelism > 1.
 	ReportDir string
+	// DiagDir, when set, enables tracing inside every cell's rig and
+	// writes one per-job diagnosis CSV per cell (figure5_*_diag.csv,
+	// ...) from internal/diag: makespan broken down into slot-wait /
+	// provider-wait / read / compute / shuffle / reduce, critical-path
+	// length, straggler and speculative-waste counts. The directory
+	// must exist. Diagnosis invariants (breakdown sums to makespan) are
+	// checked on every cell; a violation fails the sweep.
+	DiagDir string
+	// LogWriter, when non-nil, receives the virtual-clock NDJSON
+	// structured log stream (internal/vlog) from every cell's runtime
+	// at LogLevel. Cells run concurrently under Parallelism > 1;
+	// writes are line-atomic via an internal lock.
+	LogWriter io.Writer
+	// LogLevel gates LogWriter records (default slog.LevelInfo).
+	LogLevel slog.Leveler
 	// SampleIntervalS overrides the observability sampler cadence used
 	// for ReportDir time-series; 0 picks a per-figure default (5 s for
 	// single-user Figure 5 cells, 30 s — the paper's §V-D monitoring
@@ -145,8 +162,13 @@ func (o Options) workloadSpec(z float64, name string, seedOffset int64) dataset.
 	return spec
 }
 
-// reporting reports whether cells run traced with an obs sampler.
+// reporting reports whether cells run with an obs sampler feeding
+// HTML reports.
 func (o Options) reporting() bool { return o.ReportDir != "" }
+
+// traced reports whether cells run with tracing enabled — needed by
+// both the HTML reports and the per-cell diagnosis CSVs.
+func (o Options) traced() bool { return o.ReportDir != "" || o.DiagDir != "" }
 
 // sampleInterval returns the report-sampler cadence, falling back to
 // the given per-figure default.

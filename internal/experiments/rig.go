@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 
 	"dynamicmr/internal/cluster"
@@ -14,6 +16,7 @@ import (
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/vlog"
 )
 
 // sweepShared bundles the state every cell of one sweep shares: the
@@ -25,15 +28,28 @@ type sweepShared struct {
 	cache *dsCache
 	memo  *mapreduce.MapOutputCache
 	pool  *executor.Pool
+	// logW, when non-nil, is the sweep-wide structured-log sink
+	// (already wrapped for line-atomic concurrent writes); each rig
+	// binds its own virtual clock to it via a private vlog handler.
+	logW     io.Writer
+	logLevel slog.Leveler
 }
 
 // newSweepShared builds the shared state for one sweep.
 func (o Options) newSweepShared() *sweepShared {
-	return &sweepShared{
+	sh := &sweepShared{
 		cache: newDSCache(),
 		memo:  mapreduce.NewMapOutputCache(),
 		pool:  executor.NewPool(o.ScanWorkers),
 	}
+	if o.LogWriter != nil {
+		sh.logW = vlog.LockWriter(o.LogWriter)
+		sh.logLevel = o.LogLevel
+		if sh.logLevel == nil {
+			sh.logLevel = slog.LevelInfo
+		}
+	}
+	return sh
 }
 
 // close stops the pool's workers once the sweep's cells have drained.
@@ -70,12 +86,20 @@ func newRig(sched mapreduce.TaskScheduler, multiUser bool, sh *sweepShared, trac
 	if traced {
 		mrCfg.Trace = trace.Config{Enabled: true}
 	}
+	if sh.logW != nil {
+		// Each rig owns its engine, so each binds a fresh virtual-clock
+		// handler to the shared (locked) sink.
+		mrCfg.Logger = vlog.New(sh.logW, sh.logLevel, eng.Now)
+	}
+	jt := mapreduce.NewJobTracker(cl, mrCfg, sched)
+	catalog := hive.NewCatalog()
+	catalog.SetLogger(jt.Logger())
 	return &rig{
 		eng:     eng,
 		cl:      cl,
 		fs:      dfs.New(cl),
-		jt:      mapreduce.NewJobTracker(cl, mrCfg, sched),
-		catalog: hive.NewCatalog(),
+		jt:      jt,
+		catalog: catalog,
 	}
 }
 

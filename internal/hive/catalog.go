@@ -1,12 +1,15 @@
 package hive
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 
 	"dynamicmr/internal/data"
 	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/vlog"
 )
 
 // Table is a catalog entry: a named schema over a DFS file.
@@ -20,12 +23,17 @@ type Table struct {
 // here).
 type Catalog struct {
 	tables map[string]*Table
+	log    *slog.Logger
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), log: vlog.Nop()}
 }
+
+// SetLogger routes metastore events (table registrations) to l; nil
+// restores the discard logger.
+func (c *Catalog) SetLogger(l *slog.Logger) { c.log = vlog.Or(l) }
 
 // Register adds a table; duplicate names are an error.
 func (c *Catalog) Register(t *Table) error {
@@ -37,6 +45,13 @@ func (c *Catalog) Register(t *Table) error {
 		return fmt.Errorf("hive: table %q already registered", t.Name)
 	}
 	c.tables[key] = t
+	if c.log.Enabled(context.Background(), slog.LevelDebug) {
+		c.log.Debug("table registered",
+			slog.String(vlog.KeyComponent, "catalog"),
+			slog.String("table", t.Name),
+			slog.Int("columns", len(t.Schema.Columns())),
+			slog.Int64("records", t.File.TotalRecords()))
+	}
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package hive
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"dynamicmr/internal/expr"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/sampling"
+	"dynamicmr/internal/vlog"
 )
 
 // Session conf keys (beyond the mapreduce.Conf* set).
@@ -134,12 +137,29 @@ func (s *Session) Execute(sql string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		log := s.jt.Logger()
+		if log.Enabled(context.Background(), slog.LevelInfo) {
+			log.Info("query started",
+				slog.String(vlog.KeyComponent, "hive"),
+				slog.String(vlog.KeyUser, s.user),
+				slog.String(vlog.KeyQuery, sql),
+				slog.Int(vlog.KeyJob, job.ID),
+				slog.Bool("dynamic", job.Dynamic))
+		}
 		deadline := s.jt.Engine().Now() + s.deadline()
 		if !mapreduce.RunUntilDone(s.jt.Engine(), job, deadline) {
 			return nil, fmt.Errorf("hive: query exceeded deadline (%gs virtual): %s", s.deadline(), sql)
 		}
 		if job.State() == mapreduce.StateFailed {
 			return nil, fmt.Errorf("hive: job failed: %s", job.Failure())
+		}
+		if log.Enabled(context.Background(), slog.LevelInfo) {
+			log.Info("query finished",
+				slog.String(vlog.KeyComponent, "hive"),
+				slog.String(vlog.KeyUser, s.user),
+				slog.Int(vlog.KeyJob, job.ID),
+				slog.Float64("response_s", job.ResponseTime()),
+				slog.Int("rows", len(job.Output())))
 		}
 		res := &Result{Kind: ResultRows, Columns: plan.outSchema.Columns(), Job: job, Client: client}
 		for _, kv := range job.Output() {

@@ -1,13 +1,16 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 
 	"dynamicmr/internal/cluster"
 	"dynamicmr/internal/mapreduce/executor"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/vlog"
 )
 
 // Costs models the software-side execution costs of task attempts.
@@ -90,6 +93,13 @@ type Config struct {
 	// may be shared across JobTrackers; impure jobs always execute
 	// inline. nil disables asynchronous scans.
 	ScanExecutor *executor.Pool
+	// Logger receives structured lifecycle events (job submit/finish,
+	// policy decisions, query execution) stamped with the virtual
+	// clock; see internal/vlog for the attribute contract. nil means
+	// vlog.Nop(): nothing is emitted and disabled-level checks cost a
+	// single interface call. Library code must log through this rather
+	// than writing to stdout/stderr.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the standard runtime configuration.
@@ -206,6 +216,9 @@ type JobTracker struct {
 	// nil-safe, so instrumentation sites call it unconditionally.
 	tracer *trace.Tracer
 
+	// logger is never nil (vlog.Nop() when unconfigured).
+	logger *slog.Logger
+
 	started bool
 }
 
@@ -221,7 +234,8 @@ func NewJobTracker(c *cluster.Cluster, cfg Config, sched TaskScheduler) *JobTrac
 	if sched == nil {
 		sched = NewFIFOScheduler()
 	}
-	jt := &JobTracker{eng: c.Eng, cluster: c, cfg: cfg, sched: sched, tracer: trace.New(cfg.Trace)}
+	jt := &JobTracker{eng: c.Eng, cluster: c, cfg: cfg, sched: sched,
+		tracer: trace.New(cfg.Trace), logger: vlog.Or(cfg.Logger)}
 	for _, n := range c.Nodes {
 		jt.trackers = append(jt.trackers, &TaskTracker{
 			jt:          jt,
@@ -254,6 +268,18 @@ func (jt *JobTracker) TaskTrackers() []*TaskTracker { return jt.trackers }
 // trace.Tracer methods are nil-safe, so callers may use the result
 // unconditionally; gate on Tracer().Enabled() to skip whole blocks.
 func (jt *JobTracker) Tracer() *trace.Tracer { return jt.tracer }
+
+// Logger returns the runtime's structured logger (never nil; the
+// discard logger when unconfigured). Components layered on the
+// tracker (Input Provider clients, Hive sessions) log through it so
+// their records share one virtual-clock stream.
+func (jt *JobTracker) Logger() *slog.Logger { return jt.logger }
+
+// logEnabled reports whether the logger accepts records at level, so
+// hot paths can skip attribute construction entirely.
+func (jt *JobTracker) logEnabled(level slog.Level) bool {
+	return jt.logger.Enabled(context.Background(), level)
+}
 
 // start launches staggered periodic heartbeats.
 func (jt *JobTracker) start() {
@@ -378,6 +404,15 @@ func (jt *JobTracker) Submit(spec JobSpec, splits []Split) *Job {
 	jt.emit(TaskEvent{Type: EventJobSubmitted, JobID: j.ID, TaskIndex: -1, Node: -1})
 	jt.tracer.Instant(trace.EventJobSubmitted, trace.CatJob, j.SubmitTime, j.ID, -1, -1)
 	jt.tracer.Inc(trace.CounterJobsSubmitted, 1)
+	if jt.logEnabled(slog.LevelInfo) {
+		jt.logger.Info("job submitted",
+			slog.String(vlog.KeyComponent, "jobtracker"),
+			slog.Int(vlog.KeyJob, j.ID),
+			slog.String(vlog.KeyUser, j.User),
+			slog.String("name", j.Name),
+			slog.Bool("dynamic", j.Dynamic),
+			slog.Int("initial_splits", len(splits)))
+	}
 	// A job with no input and no future input can complete immediately.
 	jt.maybeStartReducePhase(j)
 	return j
@@ -546,6 +581,13 @@ func (jt *JobTracker) failJob(j *Job, why string) {
 	j.pendingReduces = nil
 	j.FinishTime = jt.eng.Now()
 	jt.traceJobEnd(j, trace.OutcomeFailed, mapDone)
+	if jt.logEnabled(slog.LevelWarn) {
+		jt.logger.Warn("job failed",
+			slog.String(vlog.KeyComponent, "jobtracker"),
+			slog.Int(vlog.KeyJob, j.ID),
+			slog.String("reason", why),
+			slog.Float64("makespan_s", j.FinishTime-j.SubmitTime))
+	}
 	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
 	if j.Spec.OnComplete != nil {
 		j.Spec.OnComplete(j)
@@ -591,6 +633,14 @@ func (jt *JobTracker) completeJob(j *Job) {
 	j.state = StateSucceeded
 	j.FinishTime = jt.eng.Now()
 	jt.traceJobEnd(j, trace.OutcomeOK, true)
+	if jt.logEnabled(slog.LevelInfo) {
+		jt.logger.Info("job finished",
+			slog.String(vlog.KeyComponent, "jobtracker"),
+			slog.Int(vlog.KeyJob, j.ID),
+			slog.Float64("makespan_s", j.FinishTime-j.SubmitTime),
+			slog.Int("maps", j.scheduled),
+			slog.Int64("map_input_records", j.Counters.MapInputRecords))
+	}
 	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
 	// Deterministic output order: by reduce partition, then emit order
 	// (already appended per-reduce in completion order).

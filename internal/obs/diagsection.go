@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamicmr/internal/diag"
+)
+
+// diagPalette maps breakdown components and path-node kinds to the
+// report's categorical palette (CSS custom properties).
+var diagPalette = map[string]string{
+	diag.KindSlotWait:       "--series-4",
+	diag.KindProviderWait:   "--series-5",
+	diag.KindStartup:        "--series-7",
+	diag.KindDiskReadLocal:  "--series-3",
+	diag.KindDiskReadRemote: "--series-6",
+	diag.KindNetRead:        "--series-6",
+	diag.KindMapCPU:         "--series-1",
+	diag.KindShuffle:        "--series-2",
+	diag.KindSort:           "--series-8",
+	diag.KindReduceCPU:      "--series-8",
+	diag.KindOutputWrite:    "--series-8",
+	diag.KindUntraced:       "--baseline",
+	// Aggregate breakdown components that fold several kinds.
+	"data-read-local":  "--series-3",
+	"data-read-remote": "--series-6",
+	"map-compute":      "--series-1",
+	"reduce":           "--series-8",
+}
+
+func diagColor(kind string) string {
+	if v, ok := diagPalette[kind]; ok {
+		return v
+	}
+	return "--text-muted"
+}
+
+// maxDiagJobs bounds the per-job breakdown rows; maxDiagPathRows bounds
+// the critical-path table of the featured (longest) job.
+const (
+	maxDiagJobs     = 12
+	maxDiagPathRows = 40
+)
+
+// writeDiagSection renders the job-diagnosis section: one stacked
+// breakdown bar per job (components sum to the makespan), anomaly
+// notes, and the critical path of the longest job as a table.
+func (r *Report) writeDiagSection(b *strings.Builder) {
+	if r.Diag == nil || len(r.Diag.Jobs) == 0 {
+		return
+	}
+	b.WriteString("<section>\n<h2>Job diagnosis</h2>\n")
+	b.WriteString("<p class=\"note\">Each bar partitions the job's makespan along its critical path; components sum to the makespan by construction.</p>\n")
+
+	// Legend over the components that actually occur.
+	seen := map[string]bool{}
+	var order []string
+	for _, j := range r.Diag.Jobs {
+		for _, c := range j.Breakdown.Components() {
+			if c.Seconds > 0 && !seen[c.Name] {
+				seen[c.Name] = true
+				order = append(order, c.Name)
+			}
+		}
+	}
+	b.WriteString(`<div class="legend">`)
+	for _, name := range order {
+		fmt.Fprintf(b, `<span class="key"><span class="swatch" style="background:var(%s)"></span>%s</span>`,
+			diagColor(name), esc(name))
+	}
+	b.WriteString("</div>\n")
+
+	jobs := r.Diag.Jobs
+	truncated := 0
+	if len(jobs) > maxDiagJobs {
+		truncated = len(jobs) - maxDiagJobs
+		jobs = jobs[:maxDiagJobs]
+	}
+	for _, j := range jobs {
+		fmt.Fprintf(b, `<div class="diag-row"><span class="diag-label">job %d (%s) · %ss</span><div class="stack">`,
+			j.JobID, esc(j.Outcome), fnum(j.MakespanS))
+		if j.MakespanS > 0 {
+			for _, c := range j.Breakdown.Components() {
+				if c.Seconds <= 0 {
+					continue
+				}
+				pct := c.Seconds / j.MakespanS * 100
+				fmt.Fprintf(b, `<span style="width:%.3f%%;background:var(%s)" title="%s %ss (%.1f%%)"></span>`,
+					pct, diagColor(c.Name), esc(c.Name), fnum(c.Seconds), pct)
+			}
+		}
+		b.WriteString("</div></div>\n")
+		for _, a := range j.Anomalies {
+			fmt.Fprintf(b, "<p class=\"note\">⚠ %s: %s</p>\n", esc(a.Kind), esc(a.Detail))
+		}
+	}
+	if truncated > 0 {
+		fmt.Fprintf(b, "<p class=\"note\">%d more job(s) omitted; the diagnosis CSV/JSON carries all of them.</p>\n", truncated)
+	}
+	for _, a := range r.Diag.ClusterAnomalies {
+		fmt.Fprintf(b, "<p class=\"note\">⚠ cluster %s: %s</p>\n", esc(a.Kind), esc(a.Detail))
+	}
+
+	// Critical-path table for the longest job.
+	longest := &r.Diag.Jobs[0]
+	for i := range r.Diag.Jobs {
+		if r.Diag.Jobs[i].MakespanS > longest.MakespanS {
+			longest = &r.Diag.Jobs[i]
+		}
+	}
+	fmt.Fprintf(b, "<h3>Critical path — job %d (%ss makespan)</h3>\n", longest.JobID, fnum(longest.MakespanS))
+	b.WriteString("<table>\n<thead><tr><th></th><th>start (s)</th><th>end (s)</th><th>duration (s)</th>" +
+		"<th>kind</th><th>task</th><th>attempt</th><th>node</th><th>detail</th></tr></thead>\n<tbody>\n")
+	for i, n := range longest.CriticalPath {
+		if i >= maxDiagPathRows {
+			fmt.Fprintf(b, "<tr><td colspan=\"9\">… %d more node(s)</td></tr>\n", len(longest.CriticalPath)-maxDiagPathRows)
+			break
+		}
+		task, att, node := "—", "—", "—"
+		if n.Task >= 0 {
+			task = fmt.Sprintf("%d", n.Task)
+		}
+		if n.Attempt > 0 {
+			att = fmt.Sprintf("%d", n.Attempt)
+		}
+		if n.Node >= 0 {
+			node = fmt.Sprintf("%d", n.Node)
+		}
+		fmt.Fprintf(b, "<tr><td><span class=\"swatch\" style=\"background:var(%s)\"></span></td>"+
+			"<td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			diagColor(n.Kind), fnum(n.Start), fnum(n.End), fnum(n.Duration()),
+			esc(n.Kind), task, att, node, esc(n.Detail))
+	}
+	b.WriteString("</tbody>\n</table>\n</section>\n")
+}
+
+// critKey identifies a task attempt on some job's critical path, split
+// by attempt category so map and reduce task IDs don't collide.
+type critKey struct {
+	job, task, attempt int
+	kind               string // "map" or "reduce"
+}
+
+// mapKinds and reduceKinds classify path-node kinds whose attempt
+// category is unambiguous.
+func pathNodeCat(kind string) string {
+	switch kind {
+	case diag.KindDiskReadLocal, diag.KindDiskReadRemote, diag.KindNetRead, diag.KindMapCPU:
+		return "map"
+	case diag.KindShuffle, diag.KindSort, diag.KindReduceCPU, diag.KindOutputWrite:
+		return "reduce"
+	}
+	return "" // startup, untraced, waits: resolved from siblings
+}
+
+// criticalBars collects the (job, task, attempt, kind) identities of
+// every attempt appearing on any job's critical path, for the Gantt
+// overlay. Ambiguous nodes (startup, untraced) inherit the category of
+// a sibling node from the same attempt.
+func (r *Report) criticalBars() map[critKey]bool {
+	if r.Diag == nil {
+		return nil
+	}
+	out := map[critKey]bool{}
+	for _, j := range r.Diag.Jobs {
+		// First pass: attempts with an unambiguous node.
+		cat := map[[2]int]string{}
+		for _, n := range j.CriticalPath {
+			if c := pathNodeCat(n.Kind); c != "" && n.Task >= 0 && n.Attempt > 0 {
+				cat[[2]int{n.Task, n.Attempt}] = c
+			}
+		}
+		for _, n := range j.CriticalPath {
+			if n.Task < 0 || n.Attempt <= 0 {
+				continue
+			}
+			c := pathNodeCat(n.Kind)
+			if c == "" {
+				c = cat[[2]int{n.Task, n.Attempt}]
+			}
+			if c == "" {
+				continue
+			}
+			out[critKey{job: j.JobID, task: n.Task, attempt: n.Attempt, kind: c}] = true
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 
+	"dynamicmr/internal/diag"
 	"dynamicmr/internal/trace"
 )
 
@@ -26,6 +27,9 @@ type Report struct {
 	Decisions []trace.PolicyDecision
 	Policies  []PolicyState
 	Counters  map[string]int64
+	// Diag is the post-run job diagnosis (critical paths, time
+	// breakdowns, anomalies); nil when the run was untraced.
+	Diag *diag.Report
 	// Dropped counts spans evicted from the trace ring; when non-zero
 	// the Gantt is incomplete and the report says so.
 	Dropped  int64
@@ -73,6 +77,7 @@ func NewReport(title string, s *Sampler, params [][2]string) *Report {
 		Policies:   s.policySnapshot(),
 		Counters:   tr.Counters(),
 		Dropped:    tr.Dropped(),
+		Diag:       diag.FromTracer(tr),
 		Interval:   s.interval,
 		TotalSnaps: len(snaps),
 	}
@@ -335,8 +340,11 @@ func (r *Report) WriteHTML(w io.Writer) error {
 	// Per-node small multiples.
 	r.writeNodeSection(&b, xmax)
 
-	// Slot-occupancy Gantt.
+	// Slot-occupancy Gantt (critical-path attempts outlined).
 	r.writeGanttSection(&b, xmax, markers)
+
+	// Per-job diagnosis: breakdown bars + critical path.
+	r.writeDiagSection(&b)
 
 	// Policy summary + counters + data table.
 	r.writePolicyTable(&b)
@@ -423,12 +431,16 @@ func (r *Report) writeGanttSection(b *strings.Builder, xmax float64, markers []m
 	if r.Dropped > 0 {
 		fmt.Fprintf(b, "<p class=\"note\">⚠ %d spans were evicted from the trace ring; the oldest attempts are missing from this chart.</p>\n", r.Dropped)
 	}
+	crit := r.criticalBars()
 	b.WriteString(`<div class="legend">` +
 		`<span class="key"><span class="swatch" style="background:var(--series-1)"></span>map attempt</span>` +
 		`<span class="key"><span class="swatch" style="background:var(--series-2)"></span>reduce attempt</span>` +
 		`<span class="key"><span class="swatch" style="background:var(--status-critical)"></span>failed</span>` +
-		`<span class="key"><span class="swatch" style="background:var(--status-serious)"></span>killed</span>` +
-		"</div>\n")
+		`<span class="key"><span class="swatch" style="background:var(--status-serious)"></span>killed</span>`)
+	if len(crit) > 0 {
+		b.WriteString(`<span class="key"><span class="swatch crit" style="background:transparent"></span>on a critical path</span>`)
+	}
+	b.WriteString("</div>\n")
 
 	const laneH, nodeGap, top, bottom, left, right, width = 8.0, 10.0, 8.0, 26.0, 52.0, 16.0, 920.0
 	// Node order and lane offsets.
@@ -495,9 +507,13 @@ func (r *Report) writeGanttSection(b *strings.Builder, xmax float64, markers []m
 		if outcome == "" {
 			outcome = "ok"
 		}
-		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%g" rx="1.5" fill="%s"%s><title>%s job %d task %d attempt %d%s [%s] %s–%ss</title></rect>`,
-			x0, offset[bar.Node]+float64(bar.Lane)*laneH+1, x1-x0, laneH-2, fill, opacity,
-			bar.Kind, bar.Job, bar.Task, bar.Attempt, spec, outcome, fnum(bar.Start), fnum(bar.End))
+		onPath, pathNote := "", ""
+		if crit[critKey{job: bar.Job, task: bar.Task, attempt: bar.Attempt, kind: bar.Kind}] {
+			onPath, pathNote = ` class="crit"`, " — on the critical path"
+		}
+		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%g" rx="1.5" fill="%s"%s%s><title>%s job %d task %d attempt %d%s [%s] %s–%ss%s</title></rect>`,
+			x0, offset[bar.Node]+float64(bar.Lane)*laneH+1, x1-x0, laneH-2, fill, opacity, onPath,
+			bar.Kind, bar.Job, bar.Task, bar.Attempt, spec, outcome, fnum(bar.Start), fnum(bar.End), pathNote)
 	}
 	b.WriteString("</svg>\n")
 	if truncated {
@@ -673,5 +689,11 @@ body { margin: 0; background: var(--page); }
 .viz-root th, .viz-root td { padding: 3px 14px 3px 0; border-bottom: 1px solid var(--grid); }
 .viz-root details { margin: 12px 0; color: var(--text-secondary); }
 .viz-root summary { cursor: pointer; }
+.viz-root .crit { stroke: var(--text-primary); stroke-width: 1.2; }
+.viz-root span.swatch.crit { border: 1.2px solid var(--text-primary); box-sizing: border-box; }
+.viz-root .diag-row { display: flex; align-items: center; gap: 10px; margin: 4px 0; }
+.viz-root .diag-label { flex: 0 0 190px; color: var(--text-secondary); font-size: 12.5px; font-variant-numeric: tabular-nums; }
+.viz-root .stack { flex: 1; display: flex; height: 16px; border-radius: 3px; overflow: hidden; background: var(--grid); }
+.viz-root .stack span { display: block; height: 100%; }
 </style>
 `
