@@ -8,7 +8,9 @@
 //	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair]
 //	      [-trace-out FILE] [-report-out FILE] [-sample-interval S]
 //	      [-log-out FILE] [-log-level LEVEL] [-e "SQL"]
-//	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS] [-pprof] ...
+//	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS]
+//	      [-qstats-out FILE] [-pprof] ...
+//	dynmr top [-addr HOST:PORT] [-follow] [-interval-ms MS]
 //	dynmr explain [-policy NAME] [-k N] [-queries N] [-json] [-out FILE] ...
 //
 // Without -e, statements are read from stdin (one per line, ';'
@@ -23,8 +25,15 @@
 //
 // The serve subcommand runs a paced loop of sampling queries while
 // exposing live observability over HTTP: Prometheus text exposition on
-// /metrics and JSON run status on /status (plus net/http/pprof under
-// /debug/pprof/ with -pprof).
+// /metrics, JSON run status on /status, the per-query registry on
+// /queries (schema dynamicmr.qstats/1; ?id=q-000001 for one record)
+// and a self-refreshing HTML dashboard on /live (plus net/http/pprof
+// under /debug/pprof/ with -pprof). SIGINT/SIGTERM shut it down
+// gracefully, flushing -report-out, -log-out and -qstats-out.
+//
+// The top subcommand renders a text view of a running serve instance
+// from its /status and /queries endpoints; -follow refreshes it like
+// top(1).
 //
 // The explain subcommand runs sampling queries with tracing on and
 // prints the post-run job diagnosis: per-job critical path, time
@@ -50,6 +59,9 @@ func main() {
 		switch os.Args[1] {
 		case "serve":
 			serveMain(os.Args[2:])
+			return
+		case "top":
+			topMain(os.Args[2:])
 			return
 		case "explain":
 			explainMain(os.Args[2:])

@@ -1,27 +1,36 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dynamicmr"
 	"dynamicmr/internal/obs"
-	"dynamicmr/internal/trace"
 )
 
 // serveMain runs `dynmr serve`: a paced closed loop of sampling queries
 // against the simulated cluster, with the observability surface exposed
-// live over HTTP — Prometheus text exposition on /metrics and a JSON
-// run status on /status. The simulated runtime is single-threaded, so
-// the query loop advances the engine while holding the server's lock;
-// scrapes between bursts always observe a consistent cluster.
+// live over HTTP — Prometheus text exposition on /metrics, JSON run
+// status on /status, the per-query registry on /queries and the
+// self-refreshing HTML dashboard on /live. The simulated runtime is
+// single-threaded, so the query loop advances the engine while holding
+// the server's lock; after each query it publishes an immutable
+// snapshot of every endpoint, so scrapes never block behind the pacer
+// or a long engine burst.
+//
+// SIGINT/SIGTERM shut the loop down gracefully: the current query
+// finishes, the -report-out / -log-out / -qstats-out artifacts are
+// flushed, the HTTP server drains, and the process exits 0.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("dynmr serve", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address for /metrics and /status")
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address for /metrics, /status, /queries and /live")
 	scale := fs.Int("scale", 1, "TPC-H scale factor of the generated LINEITEM table")
 	skewZ := fs.Float64("skew", 1, "Zipf exponent of the planted-match distribution (0, 1 or 2)")
 	rows := fs.Int64("rows", 2_000_000, "row-count override (0 = full 6M x scale)")
@@ -32,14 +41,15 @@ func serveMain(args []string) {
 	queries := fs.Int("queries", 0, "number of queries to run before idling (0 = loop until interrupted)")
 	paceMS := fs.Int("pace-ms", 500, "real milliseconds to sleep between queries (scrape window)")
 	sampleInterval := fs.Float64("sample-interval", 5, "utilization sampler cadence in virtual seconds (single queries are short, so the default is denser than the workload figures' 30s)")
-	reportOut := fs.String("report-out", "", "write the HTML run report to FILE after the query loop finishes")
+	reportOut := fs.String("report-out", "", "write the HTML run report to FILE on shutdown")
+	qstatsOut := fs.String("qstats-out", "", "write the per-query stats dump (dynamicmr.qstats/1 JSON) to FILE on shutdown")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	fs.Parse(args)
 
 	opts := append(clusterOpts(*multi, *fair),
-		dynamicmr.WithTracing(trace.Config{}),
+		dynamicmr.WithQueryStats(),
 		dynamicmr.WithUtilizationSampling(*sampleInterval))
 	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
 	defer logClose()
@@ -55,6 +65,7 @@ func serveMain(args []string) {
 	}
 
 	srv := obs.NewServer(c.Sampler())
+	srv.SetQueryStats(c.QueryStats())
 	handler := srv.Handler()
 	if *pprofOn {
 		// Register the pprof handlers explicitly on our own mux rather
@@ -75,10 +86,15 @@ func serveMain(args []string) {
 			fatal(err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "dynmr serve: listening on http://%s (/metrics, /status); policy %s, k=%d\n",
+	fmt.Fprintf(os.Stderr, "dynmr serve: listening on http://%s (/metrics, /status, /queries, /live); policy %s, k=%d\n",
 		*addr, *policy, *k)
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	pred := ds.Predicate().String()
+	interrupted := false
+loop:
 	for n := 0; *queries == 0 || n < *queries; n++ {
 		srv.Lock()
 		res, err := c.Sample("lineitem", pred, *k, *policy, []string{"L_ORDERKEY", "L_PARTKEY", "L_SUPPKEY"})
@@ -86,26 +102,61 @@ func serveMain(args []string) {
 		if err != nil {
 			fatal(err)
 		}
+		srv.Publish()
 		job := res.Job
 		fmt.Fprintf(os.Stderr, "query %d: %d row(s), response %.2fs, %d/%d partitions, clock %.2fs\n",
 			n+1, len(res.Rows), job.ResponseTime(), job.CompletedMaps(), job.ScheduledMaps(), c.Now())
-		time.Sleep(time.Duration(*paceMS) * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break loop
+		case <-time.After(time.Duration(*paceMS) * time.Millisecond):
+		}
 	}
 
-	if *reportOut != "" {
-		srv.Lock()
-		writeReport(c, *reportOut, fmt.Sprintf("dynmr serve — policy %s, scale %dx, z=%g", *policy, *scale, *skewZ),
-			[][2]string{
-				{"policy", *policy},
-				{"scale", fmt.Sprintf("%dx", *scale)},
-				{"skew z", fmt.Sprintf("%g", *skewZ)},
-				{"sample k", fmt.Sprintf("%d", *k)},
-				{"queries", fmt.Sprintf("%d", *queries)},
-			})
-		srv.Unlock()
+	if !interrupted {
+		fmt.Fprintf(os.Stderr, "dynmr serve: query loop done; still serving on http://%s (interrupt to exit)\n", *addr)
+		<-ctx.Done()
 	}
-	fmt.Fprintf(os.Stderr, "dynmr serve: query loop done; still serving on http://%s (interrupt to exit)\n", *addr)
-	select {}
+	fmt.Fprintln(os.Stderr, "dynmr serve: shutting down")
+
+	srv.Lock()
+	writeReport(c, *reportOut, fmt.Sprintf("dynmr serve — policy %s, scale %dx, z=%g", *policy, *scale, *skewZ),
+		[][2]string{
+			{"policy", *policy},
+			{"scale", fmt.Sprintf("%dx", *scale)},
+			{"skew z", fmt.Sprintf("%g", *skewZ)},
+			{"sample k", fmt.Sprintf("%d", *k)},
+			{"queries", fmt.Sprintf("%d", *queries)},
+		})
+	writeQStats(c, *qstatsOut)
+	srv.Unlock()
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dynmr serve: http shutdown: %v\n", err)
+	}
+}
+
+// writeQStats flushes the per-query registry dump when -qstats-out is
+// set. Caller holds the server lock (Dump reads the virtual clock).
+func writeQStats(c *dynamicmr.Cluster, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.QueryStats().WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote per-query stats to %s\n", path)
 }
 
 // clusterOpts assembles the hardware/scheduler options shared with the

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"dynamicmr/internal/obs"
+	"dynamicmr/internal/qstats"
+)
+
+// topMain runs `dynmr top`: a text view of a running `dynmr serve`
+// instance, built from its /status and /queries endpoints. One-shot by
+// default; -follow redraws the screen every -interval-ms like top(1).
+func topMain(args []string) {
+	fs := flag.NewFlagSet("dynmr top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "address of the dynmr serve instance")
+	follow := fs.Bool("follow", false, "refresh continuously instead of printing once")
+	intervalMS := fs.Int("interval-ms", 1000, "refresh interval with -follow")
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		out, err := renderTop(client, *addr)
+		if err != nil {
+			fatal(err)
+		}
+		if *follow {
+			// ANSI clear screen + home, like top(1).
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(out)
+		if !*follow {
+			return
+		}
+		time.Sleep(time.Duration(*intervalMS) * time.Millisecond)
+	}
+}
+
+func fetchJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderTop formats one frame from the serve instance's endpoints.
+func renderTop(client *http.Client, addr string) (string, error) {
+	var status obs.StatusPayload
+	if err := fetchJSON(client, "http://"+addr+"/status", &status); err != nil {
+		return "", err
+	}
+	var dump qstats.Dump
+	if err := fetchJSON(client, "http://"+addr+"/queries", &dump); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "dynmr @ %s — t=%.1fs virtual, %d events\n", addr, status.VirtualTimeS, status.ProcessedEvents)
+	fmt.Fprintf(&b, "slots: map %d/%d, reduce %d/%d; queued %d maps %d reduces; %d running job(s)\n",
+		status.MapSlotsUsed, status.MapSlots, status.ReduceSlotsUsed, status.ReduceSlots,
+		status.QueuedMaps, status.QueuedReduces, status.RunningJobs)
+	fmt.Fprintf(&b, "queries: %d started, %d finished, %d failed, %d in flight\n\n",
+		dump.Started, dump.Finished, dump.Failed, len(dump.InFlight))
+
+	if len(dump.Policies) > 0 {
+		fmt.Fprintf(&b, "%-8s %9s %7s %7s %9s %9s %9s %9s\n",
+			"POLICY", "FINISHED", "FAILED", "QPS", "P50(VT)", "P90(VT)", "P99(VT)", "MAX(VT)")
+		for _, p := range dump.Policies {
+			fmt.Fprintf(&b, "%-8s %9d %7d %7.2f %9.3f %9.3f %9.3f %9.3f\n",
+				p.Policy, p.Finished, p.Failed, p.QPS,
+				p.VirtualP50S, p.VirtualP90S, p.VirtualP99S, p.VirtualMaxS)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(dump.InFlight) > 0 {
+		fmt.Fprintf(&b, "%-10s %6s %-8s %7s %9s %9s %11s\n",
+			"IN-FLIGHT", "JOB", "POLICY", "K", "MATCHES", "SPLITS", "RECORDS")
+		for _, q := range dump.InFlight {
+			fmt.Fprintf(&b, "%-10s %6d %-8s %7d %9d %4d/%-4d %11d\n",
+				q.ID, q.JobID, q.Policy, q.K, q.Matches, q.SplitsScanned, q.SplitsTotal, q.RecordsRead)
+		}
+		b.WriteString("\n")
+	}
+
+	const topFinishedRows = 15
+	start := len(dump.Queries) - topFinishedRows
+	if start < 0 {
+		start = 0
+	}
+	if len(dump.Queries) > 0 {
+		fmt.Fprintf(&b, "%-10s %-9s %-8s %11s %6s %9s %9s %8s %8s %8s\n",
+			"RECENT", "STATE", "POLICY", "LATENCY(VT)", "ROWS", "OVERSHOOT", "SPLITS", "MAP(S)", "SHUF(S)", "RED(S)")
+		for i := len(dump.Queries) - 1; i >= start; i-- {
+			q := dump.Queries[i]
+			fmt.Fprintf(&b, "%-10s %-9s %-8s %11.3f %6d %9d %4d/%-4d %8.2f %8.2f %8.2f\n",
+				q.ID, q.State, q.Policy, q.LatencyVirtualS, q.Rows, q.OvershootRows,
+				q.SplitsScanned, q.SplitsTotal, q.MapSeconds, q.ShuffleSeconds, q.ReduceSeconds)
+		}
+	}
+	return b.String(), nil
+}

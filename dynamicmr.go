@@ -17,6 +17,7 @@ import (
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/mapreduce/executor"
 	"dynamicmr/internal/obs"
+	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
@@ -52,6 +53,7 @@ type config struct {
 	policies       *core.Registry
 	sample         bool
 	sampleInterval float64
+	qstats         bool
 	logW           io.Writer
 	logLevel       slog.Leveler
 }
@@ -140,6 +142,22 @@ func WithUtilizationSampling(intervalS float64) Option {
 	}
 }
 
+// WithQueryStats attaches the per-query observability registry
+// (internal/qstats): every query run through a session gets a stable
+// ID ("q-000001"...) that rides the JobConf and the structured-log
+// stream, a lifecycle record (submit / first-match / limit-hit /
+// finish), resource attribution, an incremental diag breakdown at
+// finish, and a slot in the rolling per-policy latency histograms.
+// Tracing is forced on (the registry consumes spans incrementally).
+// Read the registry via QueryStats(); dynmr serve exposes it on
+// /queries and /live.
+func WithQueryStats() Option {
+	return func(c *config) {
+		c.qstats = true
+		c.runtime.Trace.Enabled = true
+	}
+}
+
 // Cluster is the top-level handle: a simulated Hadoop cluster with a
 // DFS, a JobTracker, a table catalog and a policy registry.
 type Cluster struct {
@@ -151,6 +169,7 @@ type Cluster struct {
 	policies *core.Registry
 	sessions map[string]*hive.Session
 	sampler  *obs.Sampler
+	qstats   *qstats.Registry
 	scanPool *executor.Pool
 	seed     int64
 }
@@ -200,6 +219,9 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		c.sampler = obs.NewSampler(c.jt, obs.Config{IntervalS: cfg.sampleInterval})
 		c.sampler.Start()
 	}
+	if cfg.qstats {
+		c.qstats = qstats.NewRegistry(jt)
+	}
 	return c, nil
 }
 
@@ -233,6 +255,11 @@ func (c *Cluster) Tracer() *trace.Tracer { return c.jt.Tracer() }
 // WithUtilizationSampling.
 func (c *Cluster) Sampler() *obs.Sampler { return c.sampler }
 
+// QueryStats returns the per-query registry; nil unless built
+// WithQueryStats. All registry methods are nil-safe, so the result can
+// be used unconditionally.
+func (c *Cluster) QueryStats() *qstats.Registry { return c.qstats }
+
 // WriteReport renders the self-contained HTML run report (utilization
 // time-series, slot-occupancy Gantt, policy decision log) to w. It
 // requires WithUtilizationSampling; WithTracing enriches it with the
@@ -241,7 +268,13 @@ func (c *Cluster) WriteReport(w io.Writer, title string, params [][2]string) err
 	if c.sampler == nil {
 		return fmt.Errorf("dynamicmr: WriteReport requires WithUtilizationSampling")
 	}
-	return obs.NewReport(title, c.sampler, params).WriteHTML(w)
+	rep := obs.NewReport(title, c.sampler, params)
+	if c.qstats.Enabled() {
+		dump := c.qstats.Dump()
+		rep.Queries = dump.Queries
+		rep.QueryPolicies = dump.Policies
+	}
+	return rep.WriteHTML(w)
 }
 
 // Diagnose runs the post-run job diagnosis engine over everything the
@@ -300,6 +333,7 @@ func (c *Cluster) Session(user string) *hive.Session {
 	s, ok := c.sessions[user]
 	if !ok {
 		s = hive.NewSession(c.jt, c.catalog, c.policies, user)
+		s.SetQueryStats(c.qstats)
 		c.sessions[user] = s
 	}
 	return s

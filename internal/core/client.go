@@ -159,7 +159,7 @@ func (c *JobClient) policyName() string {
 func (c *JobClient) auditDecision(verdict string, status mapreduce.JobStatus,
 	cs mapreduce.ClusterStatus, grab, added int, progressPct float64) {
 	if log := c.jt.Logger(); log.Enabled(context.Background(), slog.LevelDebug) {
-		log.Debug("input provider decision",
+		args := []any{
 			slog.String(vlog.KeyComponent, "jobclient"),
 			slog.Int(vlog.KeyJob, status.JobID),
 			slog.String(vlog.KeyPolicy, c.policyName()),
@@ -168,7 +168,12 @@ func (c *JobClient) auditDecision(verdict string, status mapreduce.JobStatus,
 			slog.Int("grab_limit", grab),
 			slog.Int("completed_maps", status.CompletedMaps),
 			slog.Int("pending_maps", status.PendingMaps),
-			slog.Int("free_slots", cs.AvailableMapSlots()))
+			slog.Int("free_slots", cs.AvailableMapSlots()),
+		}
+		if qid := c.job.Conf.Get(mapreduce.ConfQueryID, ""); qid != "" {
+			args = append(args, slog.String(vlog.KeyQueryID, qid))
+		}
+		log.Debug("input provider decision", args...)
 	}
 	tr := c.jt.Tracer()
 	if !tr.Enabled() {

@@ -363,19 +363,44 @@ func diagnoseJob(j *jobData, cfg Config) JobDiagnosis {
 	return d
 }
 
+// AnalyzeJob diagnoses a single job from a pre-filtered trace slice:
+// the spans and decisions belonging to (or at least containing) the
+// job. It is the incremental entry point the qstats registry calls as
+// each query finishes, so a serve loop streams breakdowns out live
+// instead of re-analyzing the whole ring post-run. The returned
+// diagnosis has already passed CheckInvariants.
+func AnalyzeJob(jobID int, spans []trace.Span, decisions []trace.PolicyDecision, cfg Config) (*JobDiagnosis, error) {
+	rep := Analyze(spans, decisions, nil, 0, cfg)
+	for i := range rep.Jobs {
+		if rep.Jobs[i].JobID != jobID {
+			continue
+		}
+		d := rep.Jobs[i]
+		if err := d.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", jobID, err)
+		}
+		return &d, nil
+	}
+	return nil, fmt.Errorf("diag: no finished job %d in trace slice (%d spans)", jobID, len(spans))
+}
+
 // CheckInvariants verifies the pinned diagnosis contract for every
 // job: the critical path tiles [submit, finish] contiguously and the
 // breakdown components sum to the makespan.
 func (r *Report) CheckInvariants() error {
 	for _, j := range r.Jobs {
-		if err := j.checkInvariants(); err != nil {
+		if err := j.CheckInvariants(); err != nil {
 			return fmt.Errorf("job %d: %w", j.JobID, err)
 		}
 	}
 	return nil
 }
 
-func (j JobDiagnosis) checkInvariants() error {
+// CheckInvariants verifies the contract for one job diagnosis; see
+// Report.CheckInvariants. Exported so per-query consumers (the qstats
+// registry) can re-assert the invariant on incrementally produced
+// diagnoses.
+func (j JobDiagnosis) CheckInvariants() error {
 	tol := 1e-6 * math.Max(1, j.MakespanS)
 	if j.MakespanS < 0 {
 		return fmt.Errorf("negative makespan %g", j.MakespanS)

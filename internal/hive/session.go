@@ -12,6 +12,7 @@ import (
 	"dynamicmr/internal/data"
 	"dynamicmr/internal/expr"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/vlog"
 )
@@ -65,6 +66,7 @@ type Session struct {
 	conf     map[string]string
 	seed     int64
 	queries  int64
+	stats    *qstats.Registry
 }
 
 // NewSession creates a session for the given user. policies may be nil
@@ -96,6 +98,13 @@ func (s *Session) Get(key, def string) string {
 	}
 	return def
 }
+
+// SetQueryStats wires the per-query observability registry into the
+// session: every subsequent SELECT gets a stable query ID (carried in
+// the JobConf as mapreduce.ConfQueryID and logged as vlog key "qid")
+// and a lifecycle record in the registry. A nil registry disables the
+// layer.
+func (s *Session) SetQueryStats(r *qstats.Registry) { s.stats = r }
 
 // User returns the session's user (scheduler pool).
 func (s *Session) User() string { return s.user }
@@ -133,33 +142,48 @@ func (s *Session) Execute(sql string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.stats.Enabled() {
+			plan.queryID = s.stats.AllocID()
+		}
 		client, job, err := plan.submit()
 		if err != nil {
 			return nil, err
 		}
+		s.stats.Register(plan.queryID, job, sql, len(plan.splits))
 		log := s.jt.Logger()
 		if log.Enabled(context.Background(), slog.LevelInfo) {
-			log.Info("query started",
+			args := []any{
 				slog.String(vlog.KeyComponent, "hive"),
 				slog.String(vlog.KeyUser, s.user),
 				slog.String(vlog.KeyQuery, sql),
 				slog.Int(vlog.KeyJob, job.ID),
-				slog.Bool("dynamic", job.Dynamic))
+				slog.Bool("dynamic", job.Dynamic),
+			}
+			if plan.queryID != "" {
+				args = append(args, slog.String(vlog.KeyQueryID, plan.queryID))
+			}
+			log.Info("query started", args...)
 		}
 		deadline := s.jt.Engine().Now() + s.deadline()
 		if !mapreduce.RunUntilDone(s.jt.Engine(), job, deadline) {
+			s.stats.Abandon(job, "deadline exceeded")
 			return nil, fmt.Errorf("hive: query exceeded deadline (%gs virtual): %s", s.deadline(), sql)
 		}
 		if job.State() == mapreduce.StateFailed {
 			return nil, fmt.Errorf("hive: job failed: %s", job.Failure())
 		}
 		if log.Enabled(context.Background(), slog.LevelInfo) {
-			log.Info("query finished",
+			args := []any{
 				slog.String(vlog.KeyComponent, "hive"),
 				slog.String(vlog.KeyUser, s.user),
 				slog.Int(vlog.KeyJob, job.ID),
 				slog.Float64("response_s", job.ResponseTime()),
-				slog.Int("rows", len(job.Output())))
+				slog.Int("rows", len(job.Output())),
+			}
+			if plan.queryID != "" {
+				args = append(args, slog.String(vlog.KeyQueryID, plan.queryID))
+			}
+			log.Info("query finished", args...)
 		}
 		res := &Result{Kind: ResultRows, Columns: plan.outSchema.Columns(), Job: job, Client: client}
 		for _, kv := range job.Output() {
@@ -196,7 +220,15 @@ func (s *Session) SubmitAsync(sql string) (*core.JobClient, *mapreduce.Job, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan.submit()
+	if s.stats.Enabled() {
+		plan.queryID = s.stats.AllocID()
+	}
+	client, job, err := plan.submit()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.stats.Register(plan.queryID, job, sql, len(plan.splits))
+	return client, job, nil
 }
 
 func (s *Session) deadline() float64 {
@@ -213,6 +245,7 @@ func (s *Session) deadline() float64 {
 type queryPlan struct {
 	session    *Session
 	stmt       *SelectStmt
+	queryID    string
 	table      *Table
 	pred       expr.Expr
 	projection *data.Schema
@@ -325,6 +358,9 @@ func (p *queryPlan) buildConf() *mapreduce.JobConf {
 	conf := mapreduce.NewJobConf()
 	conf.Set(mapreduce.ConfJobName, p.stmt.String())
 	conf.Set(mapreduce.ConfUser, p.session.user)
+	if p.queryID != "" {
+		conf.Set(mapreduce.ConfQueryID, p.queryID)
+	}
 	// Session overrides flow into the job (Hive semantics).
 	for k, v := range p.session.conf {
 		conf.Set(k, v)

@@ -39,6 +39,12 @@ const (
 	// ("dynamic.input.provider").
 	ConfDynamicProvider = "dynamic.input.provider"
 
+	// ConfQueryID carries the stable per-query ID assigned by the
+	// qstats registry ("dynamic.query.id"); empty when query-level
+	// observability is disabled. It flows from the Hive session into
+	// every log record the runtime emits for the job (vlog key "qid").
+	ConfQueryID = "dynamic.query.id"
+
 	// ConfSampleSize is the required sample size k for sampling jobs.
 	ConfSampleSize = "sampling.size"
 	// ConfPredicate is the sampling predicate in SQL syntax.

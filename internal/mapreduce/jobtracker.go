@@ -405,13 +405,18 @@ func (jt *JobTracker) Submit(spec JobSpec, splits []Split) *Job {
 	jt.tracer.Instant(trace.EventJobSubmitted, trace.CatJob, j.SubmitTime, j.ID, -1, -1)
 	jt.tracer.Inc(trace.CounterJobsSubmitted, 1)
 	if jt.logEnabled(slog.LevelInfo) {
-		jt.logger.Info("job submitted",
+		args := []any{
 			slog.String(vlog.KeyComponent, "jobtracker"),
 			slog.Int(vlog.KeyJob, j.ID),
 			slog.String(vlog.KeyUser, j.User),
 			slog.String("name", j.Name),
 			slog.Bool("dynamic", j.Dynamic),
-			slog.Int("initial_splits", len(splits)))
+			slog.Int("initial_splits", len(splits)),
+		}
+		if qid := j.Conf.Get(ConfQueryID, ""); qid != "" {
+			args = append(args, slog.String(vlog.KeyQueryID, qid))
+		}
+		jt.logger.Info("job submitted", args...)
 	}
 	// A job with no input and no future input can complete immediately.
 	jt.maybeStartReducePhase(j)
@@ -582,11 +587,16 @@ func (jt *JobTracker) failJob(j *Job, why string) {
 	j.FinishTime = jt.eng.Now()
 	jt.traceJobEnd(j, trace.OutcomeFailed, mapDone)
 	if jt.logEnabled(slog.LevelWarn) {
-		jt.logger.Warn("job failed",
+		args := []any{
 			slog.String(vlog.KeyComponent, "jobtracker"),
 			slog.Int(vlog.KeyJob, j.ID),
 			slog.String("reason", why),
-			slog.Float64("makespan_s", j.FinishTime-j.SubmitTime))
+			slog.Float64("makespan_s", j.FinishTime-j.SubmitTime),
+		}
+		if qid := j.Conf.Get(ConfQueryID, ""); qid != "" {
+			args = append(args, slog.String(vlog.KeyQueryID, qid))
+		}
+		jt.logger.Warn("job failed", args...)
 	}
 	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
 	if j.Spec.OnComplete != nil {
@@ -634,12 +644,17 @@ func (jt *JobTracker) completeJob(j *Job) {
 	j.FinishTime = jt.eng.Now()
 	jt.traceJobEnd(j, trace.OutcomeOK, true)
 	if jt.logEnabled(slog.LevelInfo) {
-		jt.logger.Info("job finished",
+		args := []any{
 			slog.String(vlog.KeyComponent, "jobtracker"),
 			slog.Int(vlog.KeyJob, j.ID),
 			slog.Float64("makespan_s", j.FinishTime-j.SubmitTime),
 			slog.Int("maps", j.scheduled),
-			slog.Int64("map_input_records", j.Counters.MapInputRecords))
+			slog.Int64("map_input_records", j.Counters.MapInputRecords),
+		}
+		if qid := j.Conf.Get(ConfQueryID, ""); qid != "" {
+			args = append(args, slog.String(vlog.KeyQueryID, qid))
+		}
+		jt.logger.Info("job finished", args...)
 	}
 	jt.emit(TaskEvent{Type: EventJobFinished, JobID: j.ID, TaskIndex: -1, Node: -1})
 	// Deterministic output order: by reduce partition, then emit order

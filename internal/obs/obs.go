@@ -334,6 +334,24 @@ func (s *Sampler) publishGauges(snap Snapshot) {
 // Snapshots returns the recorded time series.
 func (s *Sampler) Snapshots() []Snapshot { return append([]Snapshot(nil), s.snaps...) }
 
+// SnapshotCount returns how many snapshots have been recorded: the
+// cursor SnapshotsSince expects next.
+func (s *Sampler) SnapshotCount() int { return len(s.snaps) }
+
+// SnapshotsSince returns the snapshots recorded at index >= from,
+// mirroring trace.PolicyDecisionsSince: incremental consumers (the
+// server's publish step, live dashboards) advance a cursor by the
+// returned length instead of copying the whole series on every poll.
+func (s *Sampler) SnapshotsSince(from int) []Snapshot {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(s.snaps) {
+		return nil
+	}
+	return append([]Snapshot(nil), s.snaps[from:]...)
+}
+
 // Latest returns the most recent snapshot (ok false before the first
 // tick).
 func (s *Sampler) Latest() (Snapshot, bool) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"dynamicmr/internal/diag"
+	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/trace"
 )
 
@@ -34,6 +35,12 @@ type Report struct {
 	// the Gantt is incomplete and the report says so.
 	Dropped  int64
 	Interval float64
+	// Queries is the per-query registry detail (lifecycle, latency,
+	// attribution), newest last; empty when qstats was not enabled.
+	Queries []qstats.QueryRecord
+	// QueryPolicies are the rolling per-policy latency aggregates that
+	// accompany Queries.
+	QueryPolicies []qstats.PolicyLatency
 	// TotalSnaps is the sampler's full series length before thinning;
 	// the data table notes when Snaps is a stride of it.
 	TotalSnaps int
@@ -346,6 +353,9 @@ func (r *Report) WriteHTML(w io.Writer) error {
 	// Per-job diagnosis: breakdown bars + critical path.
 	r.writeDiagSection(&b)
 
+	// Per-query registry detail (when qstats was enabled).
+	r.writeQuerySection(&b)
+
 	// Policy summary + counters + data table.
 	r.writePolicyTable(&b)
 	r.writeDataTable(&b)
@@ -528,6 +538,58 @@ func sortInts(xs []int) {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
+}
+
+// writeQuerySection renders the per-query registry detail: the rolling
+// per-policy latency summary and one row per finished query with its
+// lifecycle and phase-time attribution.
+func (r *Report) writeQuerySection(b *strings.Builder) {
+	if len(r.Queries) == 0 && len(r.QueryPolicies) == 0 {
+		return
+	}
+	b.WriteString("<section>\n<h2>Per-query stats</h2>\n")
+	if len(r.QueryPolicies) > 0 {
+		b.WriteString("<h3>Rolling per-policy latency (virtual seconds)</h3>\n<table>\n<thead><tr>" +
+			"<th>policy</th><th>finished</th><th>failed</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr></thead>\n<tbody>\n")
+		for _, p := range r.QueryPolicies {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				esc(p.Policy), p.Finished, p.Failed,
+				fnum(p.VirtualP50S), fnum(p.VirtualP90S), fnum(p.VirtualP99S), fnum(p.VirtualMaxS))
+		}
+		b.WriteString("</tbody>\n</table>\n")
+	}
+	if len(r.Queries) > 0 {
+		const maxQueryRows = 200
+		qs := r.Queries
+		truncated := 0
+		if len(qs) > maxQueryRows {
+			truncated = len(qs) - maxQueryRows
+			qs = qs[len(qs)-maxQueryRows:]
+		}
+		b.WriteString("<h3>Finished queries</h3>\n<table>\n<thead><tr>" +
+			"<th>id</th><th>state</th><th>policy</th><th>k</th><th>latency (s)</th><th>first match (s)</th>" +
+			"<th>limit hit (s)</th><th>rows</th><th>overshoot</th><th>splits</th><th>records</th>" +
+			"<th>map s</th><th>shuffle s</th><th>reduce s</th></tr></thead>\n<tbody>\n")
+		for _, q := range qs {
+			fm, lh := "—", "—"
+			if q.FirstMatchVT >= 0 {
+				fm = fnum(q.FirstMatchVT - q.SubmitVT)
+			}
+			if q.LimitHitVT >= 0 {
+				lh = fnum(q.LimitHitVT - q.SubmitVT)
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td>"+
+				"<td>%d</td><td>%d</td><td>%d/%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				esc(q.ID), esc(q.State), esc(q.Policy), q.K, fnum(q.LatencyVirtualS), fm, lh,
+				q.Rows, q.OvershootRows, q.SplitsScanned, q.SplitsTotal, q.RecordsRead,
+				fnum(q.MapSeconds), fnum(q.ShuffleSeconds), fnum(q.ReduceSeconds))
+		}
+		b.WriteString("</tbody>\n</table>\n")
+		if truncated > 0 {
+			fmt.Fprintf(b, "<p class=\"note\">Showing the last %d of %d queries; the full set is in the qstats JSON dump.</p>\n", maxQueryRows, len(r.Queries))
+		}
+	}
+	b.WriteString("</section>\n")
 }
 
 func (r *Report) writePolicyTable(b *strings.Builder) {

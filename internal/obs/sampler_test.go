@@ -214,3 +214,46 @@ func TestGaugesPublished(t *testing.T) {
 		t.Fatal("virtual-time gauge never set")
 	}
 }
+
+// TestSnapshotsSince pins the incremental cursor contract: consumers
+// (the serve loop's published /live window) read only the new tail,
+// never re-copying the whole series.
+func TestSnapshotsSince(t *testing.T) {
+	eng, _, fs, jt := rig(t, false)
+	f := mkFile(t, fs, "in", 10, 300)
+	s := NewSampler(jt, Config{IntervalS: 1})
+	s.Start()
+
+	job := jt.Submit(mapreduce.JobSpec{NewMapper: nopMapper}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	eng.RunUntil(eng.Now() + 5)
+
+	n := s.SnapshotCount()
+	if n < 5 {
+		t.Fatalf("expected several snapshots, got %d", n)
+	}
+	all := s.SnapshotsSince(0)
+	if len(all) != n {
+		t.Fatalf("SnapshotsSince(0) len %d, want %d", len(all), n)
+	}
+	if got := s.SnapshotsSince(-3); len(got) != n {
+		t.Fatalf("negative cursor clamps to 0: len %d, want %d", len(got), n)
+	}
+	mid := n / 2
+	tail := s.SnapshotsSince(mid)
+	if len(tail) != n-mid || tail[0].Time != all[mid].Time {
+		t.Fatalf("mid cursor: len %d first t=%v, want len %d first t=%v",
+			len(tail), tail[0].Time, n-mid, all[mid].Time)
+	}
+	if got := s.SnapshotsSince(n); got != nil {
+		t.Fatalf("caught-up cursor returns nil, got %d snaps", len(got))
+	}
+
+	// New samples appear only past the old cursor.
+	eng.RunUntil(eng.Now() + 3)
+	fresh := s.SnapshotsSince(n)
+	if len(fresh) == 0 || fresh[0].Time <= all[n-1].Time {
+		t.Fatalf("fresh tail wrong: %d snaps, first t=%v after t=%v",
+			len(fresh), fresh[0].Time, all[n-1].Time)
+	}
+}

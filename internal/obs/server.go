@@ -1,31 +1,64 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
 
+	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/trace"
 )
 
 // Server is the live operational surface: a Prometheus text-exposition
-// /metrics endpoint and a JSON /status, both reading the sampler's
-// recorded state plus instantaneous cluster counters.
+// /metrics endpoint, a JSON /status, the per-query /queries listing
+// (JSON, schema dynamicmr.qstats/1), and the self-refreshing /live
+// HTML dashboard.
 //
-// The simulated runtime is single-threaded, so the driver loop and HTTP
-// scrapes coordinate through the server's mutex: the driver holds Lock
-// while stepping the engine, handlers hold it while reading. A scrape
-// therefore observes a consistent snapshot between simulation bursts
-// (the real-time mapping of the virtual clock is whatever the driver's
-// pacing makes it).
+// The simulated runtime is single-threaded, so the driver loop and
+// HTTP scrapes coordinate through the server's mutex: the driver holds
+// Lock while stepping the engine; handlers hold it while reading live
+// state. Because a single query can keep the engine busy for a long
+// wall-clock stretch, a paced driver should additionally call Publish
+// after each advance: Publish renders every endpoint's payload into an
+// immutable snapshot that handlers then serve without touching the
+// simulation lock at all, so scrapes never block behind the pacer or a
+// long engine burst. Handlers fall back to the locked live read until
+// the first Publish.
 type Server struct {
 	mu   sync.Mutex
 	samp *Sampler
+	qs   *qstats.Registry
+
+	// Rolling window of recent snapshots for the /live sparklines,
+	// maintained incrementally via SnapshotsSince. Guarded by mu.
+	snapCursor int
+	recent     []Snapshot
+
+	pubMu sync.RWMutex
+	pub   *published
+}
+
+// liveRecentSnaps bounds the /live utilization sparkline window.
+const liveRecentSnaps = 240
+
+// published is one immutable, pre-rendered view of every endpoint.
+type published struct {
+	metrics []byte
+	status  []byte
+	dump    qstats.Dump
+	vt      float64
+	recent  []Snapshot
 }
 
 // NewServer wraps a sampler for serving.
 func NewServer(samp *Sampler) *Server { return &Server{samp: samp} }
+
+// SetQueryStats attaches the per-query registry: /queries and /live
+// gain query detail, and /metrics gains the per-policy latency
+// histogram and QPS families.
+func (s *Server) SetQueryStats(r *qstats.Registry) { s.qs = r }
 
 // Lock takes the simulation lock; the driver holds it while advancing
 // the engine so scrapes never observe a half-stepped cluster.
@@ -34,26 +67,67 @@ func (s *Server) Lock() { s.mu.Lock() }
 // Unlock releases the simulation lock.
 func (s *Server) Unlock() { s.mu.Unlock() }
 
-// Handler returns the HTTP mux serving /metrics and /status.
+// Publish renders every endpoint's payload under the simulation lock
+// and installs it as the served snapshot. Drivers call it after each
+// engine advance (with the lock released); subsequent scrapes are
+// lock-free and mutually consistent.
+func (s *Server) Publish() {
+	s.mu.Lock()
+	var metrics bytes.Buffer
+	err := trace.WritePrometheus(&metrics, s.promFamilies())
+	status := s.statusPayload()
+	dump := s.qs.Dump()
+	vt := s.samp.JobTracker().Engine().Now()
+	fresh := s.samp.SnapshotsSince(s.snapCursor)
+	s.snapCursor += len(fresh)
+	s.recent = append(s.recent, fresh...)
+	if len(s.recent) > liveRecentSnaps {
+		s.recent = append(s.recent[:0:0], s.recent[len(s.recent)-liveRecentSnaps:]...)
+	}
+	recent := append([]Snapshot(nil), s.recent...)
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	statusJSON, err := json.MarshalIndent(status, "", "  ")
+	if err != nil {
+		return
+	}
+	p := &published{metrics: metrics.Bytes(), status: statusJSON, dump: dump, vt: vt, recent: recent}
+	s.pubMu.Lock()
+	s.pub = p
+	s.pubMu.Unlock()
+}
+
+func (s *Server) publishedState() *published {
+	s.pubMu.RLock()
+	defer s.pubMu.RUnlock()
+	return s.pub
+}
+
+// Handler returns the HTTP mux serving the endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/live", s.handleLive)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "dynmr observability endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON run status")
+		fmt.Fprintln(w, "dynmr observability endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON run status\n  /queries  JSON per-query stats (?id=q-000001 for detail)\n  /live     self-refreshing HTML dashboard")
 	})
 	return mux
 }
 
 // promFamilies assembles the full exposition set: registry families
 // (counters, gauges, histogram scalars) plus live per-node, queue, and
-// per-policy families derived from the latest snapshot. Caller holds
-// the lock.
+// per-policy families derived from the latest snapshot, plus — when a
+// query registry is attached — the per-policy latency histograms and
+// query counters. Caller holds the lock.
 func (s *Server) promFamilies() []trace.PromFamily {
 	jt := s.samp.JobTracker()
 	fams := jt.Tracer().PromFamilies("dynmr.")
@@ -71,6 +145,8 @@ func (s *Server) promFamilies() []trace.PromFamily {
 	gauge("dynmr.queued_map_tasks", "Scheduled map tasks waiting for a slot.", float64(st.QueuedMapTasks))
 	gauge("dynmr.queued_reduce_tasks", "Reduce partitions waiting for a slot.", float64(st.QueuedReduceTasks))
 	gauge("dynmr.running_jobs", "Jobs submitted and not yet finished.", float64(st.RunningJobs))
+
+	fams = append(fams, s.qs.PromFamilies("dynmr.")...)
 
 	snap, ok := s.samp.Latest()
 	if !ok {
@@ -116,10 +192,14 @@ func (s *Server) promFamilies() []trace.PromFamily {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if p := s.publishedState(); p != nil {
+		_, _ = w.Write(p.metrics)
+		return
+	}
 	s.mu.Lock()
 	fams := s.promFamilies()
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := trace.WritePrometheus(w, fams); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -140,8 +220,8 @@ type StatusPayload struct {
 	Latest          *Snapshot `json:"latest,omitempty"`
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+// statusPayload builds the /status document. Caller holds the lock.
+func (s *Server) statusPayload() StatusPayload {
 	jt := s.samp.JobTracker()
 	st := jt.ClusterStatus()
 	payload := StatusPayload{
@@ -154,14 +234,66 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		ReduceSlotsUsed: st.OccupiedReduces,
 		QueuedMaps:      st.QueuedMapTasks,
 		QueuedReduces:   st.QueuedReduceTasks,
-		Samples:         len(s.samp.snaps),
+		Samples:         s.samp.SnapshotCount(),
 	}
 	if snap, ok := s.samp.Latest(); ok {
 		payload.Latest = &snap
 	}
-	s.mu.Unlock()
+	return payload
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if p := s.publishedState(); p != nil {
+		_, _ = w.Write(p.status)
+		return
+	}
+	s.mu.Lock()
+	payload := s.statusPayload()
+	s.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(payload)
+}
+
+// currentDump snapshots the query registry: the published view when
+// one exists, otherwise a live read under the simulation lock.
+func (s *Server) currentDump() qstats.Dump {
+	if p := s.publishedState(); p != nil {
+		return p.dump
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qs.Dump()
+}
+
+// handleQueries serves the qstats dump (schema dynamicmr.qstats/1).
+// ?id=q-000042 returns that single record — finished or in-flight —
+// with its full diagnosis breakdown.
+func (s *Server) handleQueries(w http.ResponseWriter, req *http.Request) {
+	dump := s.currentDump()
+	if id := req.URL.Query().Get("id"); id != "" {
+		for i := len(dump.Queries) - 1; i >= 0; i-- {
+			if dump.Queries[i].ID == id {
+				writeJSON(w, dump.Queries[i])
+				return
+			}
+		}
+		for i := range dump.InFlight {
+			if dump.InFlight[i].ID == id {
+				writeJSON(w, dump.InFlight[i])
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("no query %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, dump)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/qstats"
+)
+
+func echoMapper(*mapreduce.JobConf) mapreduce.Mapper {
+	return mapreduce.MapperFunc(func(rec data.Record, c *mapreduce.Collector) error {
+		c.Emit("k", rec)
+		return nil
+	})
+}
+
+func TestQueriesAndLiveEndpoints(t *testing.T) {
+	eng, _, fs, jt := rig(t, true)
+	f := mkFile(t, fs, "in", 8, 100)
+	s := NewSampler(jt, Config{IntervalS: 1})
+	s.Start()
+	srv := NewServer(s)
+	reg := qstats.NewRegistry(jt)
+	srv.SetQueryStats(reg)
+
+	var lastID string
+	for i := 0; i < 3; i++ {
+		id := reg.AllocID()
+		conf := mapreduce.NewJobConf()
+		conf.SetInt(mapreduce.ConfSampleSize, 50)
+		conf.Set(mapreduce.ConfDynamicPolicy, "LA")
+		conf.Set(mapreduce.ConfQueryID, id)
+		job := jt.Submit(mapreduce.JobSpec{Conf: conf, NewMapper: echoMapper}, mapreduce.SplitsForFile(f))
+		reg.Register(id, job, fmt.Sprintf("SELECT V FROM t LIMIT 50 -- %d", i), job.ScheduledMaps())
+		mapreduce.RunUntilDone(eng, job, 1e6)
+		lastID = id
+	}
+	eng.RunUntil(eng.Now() + 2)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	// /queries: full dump, schema-stamped, all three finished.
+	rec := get("/queries")
+	if rec.Code != 200 {
+		t.Fatalf("/queries status %d", rec.Code)
+	}
+	var dump qstats.Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("bad /queries JSON: %v", err)
+	}
+	if dump.Schema != qstats.SchemaVersion {
+		t.Fatalf("schema %q", dump.Schema)
+	}
+	if dump.Finished != 3 || len(dump.Queries) != 3 || len(dump.InFlight) != 0 {
+		t.Fatalf("dump totals: finished=%d queries=%d inflight=%d", dump.Finished, len(dump.Queries), len(dump.InFlight))
+	}
+
+	// /queries?id=: single-record detail.
+	rec = get("/queries?id=" + lastID)
+	if rec.Code != 200 {
+		t.Fatalf("/queries?id status %d", rec.Code)
+	}
+	var q qstats.QueryRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatalf("bad detail JSON: %v", err)
+	}
+	if q.ID != lastID || q.State != qstats.StateOK || q.LatencyVirtualS <= 0 {
+		t.Fatalf("detail record: %+v", q)
+	}
+	if rec = get("/queries?id=q-999999"); rec.Code != 404 {
+		t.Fatalf("missing id status %d", rec.Code)
+	}
+
+	// /live: HTML with the query rows and sparklines.
+	rec = get("/live")
+	if rec.Code != 200 {
+		t.Fatalf("/live status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<!DOCTYPE html>", lastID, "Per-policy latency", "polyline", "LA"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/live missing %q", want)
+		}
+	}
+
+	// /metrics: per-policy latency histogram family present and well
+	// formed alongside the existing families.
+	rec = get("/metrics")
+	body = rec.Body.String()
+	for _, want := range []string{
+		"# TYPE dynmr_query_latency_virtual_s histogram",
+		`dynmr_query_latency_virtual_s_bucket{policy="LA",le="+Inf"} 3`,
+		`dynmr_query_latency_virtual_s_count{policy="LA"} 3`,
+		"dynmr_queries_finished_total 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestPublishedEndpointsDoNotBlock is the narrow-lock satellite: after
+// Publish, every endpoint must answer from the published snapshot even
+// while the driver holds the simulation lock (as the paced serve loop
+// does for long stretches).
+func TestPublishedEndpointsDoNotBlock(t *testing.T) {
+	eng, _, fs, jt := rig(t, true)
+	f := mkFile(t, fs, "in", 6, 100)
+	s := NewSampler(jt, Config{IntervalS: 1})
+	s.Start()
+	srv := NewServer(s)
+	reg := qstats.NewRegistry(jt)
+	srv.SetQueryStats(reg)
+
+	id := reg.AllocID()
+	conf := mapreduce.NewJobConf()
+	conf.SetInt(mapreduce.ConfSampleSize, 50)
+	conf.Set(mapreduce.ConfDynamicPolicy, "HA")
+	conf.Set(mapreduce.ConfQueryID, id)
+	job := jt.Submit(mapreduce.JobSpec{Conf: conf, NewMapper: echoMapper}, mapreduce.SplitsForFile(f))
+	reg.Register(id, job, "SELECT V FROM t LIMIT 50", job.ScheduledMaps())
+	mapreduce.RunUntilDone(eng, job, 1e6)
+	srv.Publish()
+
+	srv.Lock() // simulate the driver mid-advance
+	defer srv.Unlock()
+
+	done := make(chan string, 4)
+	for _, path := range []string{"/metrics", "/status", "/queries", "/live"} {
+		go func(p string) {
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+			if rec.Code != 200 || rec.Body.Len() == 0 {
+				done <- fmt.Sprintf("%s: status %d len %d", p, rec.Code, rec.Body.Len())
+				return
+			}
+			done <- ""
+		}(path)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case msg := <-done:
+			if msg != "" {
+				t.Error(msg)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("endpoint blocked behind the simulation lock")
+		}
+	}
+
+	// The published /queries view matches the live registry.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/queries", nil))
+	var dump qstats.Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("bad published /queries JSON: %v", err)
+	}
+	if dump.Finished != 1 || len(dump.Queries) != 1 || dump.Queries[0].ID != id {
+		t.Fatalf("published dump: %+v", dump)
+	}
+}

@@ -1,0 +1,149 @@
+package qstats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty hist not zero")
+	}
+	vals := []float64{0.002, 0.01, 0.05, 0.25, 1.3, 7}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(h.Sum()-sum) > 1e-12 {
+		t.Fatalf("sum = %g want %g", h.Sum(), sum)
+	}
+	if h.Min() != 0.002 || h.Max() != 7 {
+		t.Fatalf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	// Quantile estimates are bucket upper bounds: at least the true
+	// quantile, at most one bucket ratio (2^(1/8)) above it.
+	ratio := math.Exp2(1.0 / histBucketsPerOctave)
+	for i, q := range []float64{0.5, 0.9, 0.99} {
+		truth := []float64{0.05, 7, 7}[i]
+		got := h.Quantile(q)
+		if got < truth || got > truth*ratio*(1+1e-9) {
+			t.Errorf("Quantile(%g) = %g, want within [%g, %g]", q, got, truth, truth*ratio)
+		}
+	}
+	// Monotone in q.
+	if h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Fatal("quantiles not monotone")
+	}
+	// Sub-floor and negative observations land in bucket 0 whose upper
+	// bound is the floor.
+	var lo Hist
+	lo.Observe(1e-6)
+	lo.Observe(-3)
+	if got := lo.Quantile(0.9); got != histMinBound {
+		t.Fatalf("sub-floor quantile = %g, want %g", got, histMinBound)
+	}
+}
+
+// TestHistMergeBoundsQuantiles is the satellite property test: for any
+// sharding of observations into per-shard histograms, the merged
+// histogram's quantile estimate lies within [min, max] of the shard
+// estimates. This holds exactly because all Hists share one bucket
+// layout and Quantile returns a bucket upper bound (not clamped to the
+// shard max — see the Quantile doc).
+func TestHistMergeBoundsQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nShards := 2 + rng.Intn(4)
+		shards := make([]*Hist, nShards)
+		merged := &Hist{}
+		direct := &Hist{}
+		for i := range shards {
+			shards[i] = &Hist{}
+			n := 1 + rng.Intn(50)
+			for j := 0; j < n; j++ {
+				// Log-uniform latencies across ~7 decades.
+				v := math.Exp(rng.Float64()*16 - 9)
+				shards[i].Observe(v)
+				direct.Observe(v)
+			}
+		}
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.Count() != direct.Count() || math.Abs(merged.Sum()-direct.Sum()) > 1e-9*direct.Sum() {
+			t.Fatalf("trial %d: merge lost observations: count %d vs %d", trial, merged.Count(), direct.Count())
+		}
+		if merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+			t.Fatalf("trial %d: merge min/max mismatch", trial)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, s := range shards {
+				sq := s.Quantile(q)
+				lo = math.Min(lo, sq)
+				hi = math.Max(hi, sq)
+			}
+			got := merged.Quantile(q)
+			if got < lo || got > hi {
+				t.Fatalf("trial %d: merged Quantile(%g) = %g outside shard bounds [%g, %g]",
+					trial, q, got, lo, hi)
+			}
+			// Merging must agree with observing everything directly.
+			if got != direct.Quantile(q) {
+				t.Fatalf("trial %d: merged Quantile(%g) = %g, direct = %g", trial, q, got, direct.Quantile(q))
+			}
+		}
+	}
+}
+
+func TestHistCumulativeLE(t *testing.T) {
+	var h Hist
+	vals := []float64{0.0005, 0.002, 0.003, 0.01, 0.1, 2, 500, 1e7}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		le   float64
+		want int64
+	}{
+		{0.001, 1}, {0.004, 3}, {0.016, 4}, {0.256, 5}, {4.096, 6}, {1048.576, 7},
+	} {
+		if got := h.CumulativeLE(tc.le); got != tc.want {
+			t.Errorf("CumulativeLE(%g) = %d, want %d", tc.le, got, tc.want)
+		}
+	}
+	// The +Inf bucket in the exposition uses Count directly.
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestQPSWindow(t *testing.T) {
+	w := qpsWindow{window: 60}
+	for i := 0; i < 30; i++ {
+		w.add(float64(i)) // one event per second for 30s
+	}
+	if got := w.rate(30); got != 0.5 {
+		t.Fatalf("rate = %g, want 0.5", got)
+	}
+	// 70s later everything has expired.
+	if got := w.rate(100); got != 0 {
+		t.Fatalf("rate after expiry = %g, want 0", got)
+	}
+	// Compaction keeps the window correct.
+	for i := 0; i < 1000; i++ {
+		w.add(100 + float64(i)*0.01)
+		w.rate(100 + float64(i)*0.01)
+	}
+	if got := w.rate(110); math.Abs(got-1000.0/60) > 1e-9 {
+		t.Fatalf("rate after churn = %g, want %g", got, 1000.0/60)
+	}
+}

@@ -1,0 +1,100 @@
+package qstats
+
+import (
+	"strconv"
+
+	"dynamicmr/internal/trace"
+)
+
+// promLadder is the cumulative le ladder for histogram exposition:
+// powers of 4 above the 1 ms floor (each a fine-bucket boundary, so
+// CumulativeLE is exact), then +Inf. Coarser than the internal
+// 8-per-octave buckets to keep the /metrics payload small.
+var promLadder = func() []float64 {
+	out := make([]float64, 0, 11)
+	for le := histMinBound; le <= 1100; le *= 4 {
+		out = append(out, le)
+	}
+	return out
+}()
+
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// PromFamilies renders the registry as Prometheus families: per-policy
+// latency histograms (wall and virtual seconds), a per-policy windowed
+// QPS gauge, and started/finished/failed counters. Names carry the
+// given prefix (e.g. "dynmr.").
+func (r *Registry) PromFamilies(prefix string) []trace.PromFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	wall := trace.PromFamily{
+		Name: prefix + "query.latency_wall_s",
+		Help: "Wall-clock query latency by policy.",
+		Type: trace.PromHistogram,
+	}
+	virt := trace.PromFamily{
+		Name: prefix + "query.latency_virtual_s",
+		Help: "Virtual-clock query latency by policy.",
+		Type: trace.PromHistogram,
+	}
+	qps := trace.PromFamily{
+		Name: prefix + "query.qps",
+		Help: "Finished queries per second over the sliding window, by policy.",
+		Type: trace.PromGauge,
+	}
+	now := r.now()
+	for _, a := range r.policies {
+		appendHist(&wall, a.name, &a.wall)
+		appendHist(&virt, a.name, &a.virtual)
+		qps.Samples = append(qps.Samples, trace.PromSample{
+			Labels: []trace.PromLabel{{Name: "policy", Value: a.name}},
+			Value:  a.qps.rate(now),
+		})
+	}
+
+	counter := func(name, help string, v int64) trace.PromFamily {
+		return trace.PromFamily{
+			Name:    prefix + name,
+			Help:    help,
+			Type:    trace.PromCounter,
+			Samples: []trace.PromSample{{Value: float64(v)}},
+		}
+	}
+	return []trace.PromFamily{
+		wall, virt, qps,
+		counter("queries.started_total", "Queries registered.", r.started),
+		counter("queries.finished_total", "Queries finished (any outcome).", r.finished),
+		counter("queries.failed_total", "Queries failed or abandoned.", r.failed),
+	}
+}
+
+func appendHist(f *trace.PromFamily, policy string, h *Hist) {
+	for _, le := range promLadder {
+		f.Samples = append(f.Samples, trace.PromSample{
+			Suffix: "_bucket",
+			Labels: []trace.PromLabel{{Name: "policy", Value: policy}, {Name: "le", Value: formatLE(le)}},
+			Value:  float64(h.CumulativeLE(le)),
+		})
+	}
+	f.Samples = append(f.Samples,
+		trace.PromSample{
+			Suffix: "_bucket",
+			Labels: []trace.PromLabel{{Name: "policy", Value: policy}, {Name: "le", Value: "+Inf"}},
+			Value:  float64(h.Count()),
+		},
+		trace.PromSample{
+			Suffix: "_sum",
+			Labels: []trace.PromLabel{{Name: "policy", Value: policy}},
+			Value:  h.Sum(),
+		},
+		trace.PromSample{
+			Suffix: "_count",
+			Labels: []trace.PromLabel{{Name: "policy", Value: policy}},
+			Value:  float64(h.Count()),
+		},
+	)
+}

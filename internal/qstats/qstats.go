@@ -1,0 +1,603 @@
+// Package qstats is the per-query observability layer: a registry that
+// assigns every sampling query a stable ID, tracks its lifecycle
+// (submit / first-match / limit-hit / finish on both the virtual and
+// the wall clock), attributes resources to it (splits grabbed, records
+// read, map/shuffle/reduce seconds, overshoot versus k), folds finished
+// queries into rolling log-bucketed latency histograms and windowed QPS
+// per policy, and runs internal/diag incrementally over just that
+// query's trace slice as it finishes — so the nine-component breakdown
+// streams out live instead of only post-run.
+//
+// The registry hangs off the JobTracker event bus: the Hive session
+// allocates an ID before submitting (so the ID rides the JobConf and
+// the structured-log stream, vlog key "qid"), registers the job, and
+// the registry does the rest from EventMapFinished/EventJobFinished
+// callbacks on the engine goroutine. Trace spans and policy decisions
+// are consumed through the incremental SpansSince /
+// PolicyDecisionsSince cursors, never by copying the whole ring.
+//
+// Consumers: internal/obs serves the registry on /queries, /live and
+// /metrics; cmd/dynmr dumps it on shutdown and renders `dynmr top`;
+// the dynamicmr facade exposes it as Cluster.QueryStats(). All of it
+// is absent — zero allocations, zero branches beyond a nil check —
+// when the layer is disabled.
+package qstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dynamicmr/internal/diag"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/trace"
+
+	"sync"
+)
+
+// SchemaVersion identifies the JSON layout of Dump (the /queries
+// payload and the -qstats-out file); see DESIGN.md "Per-query
+// observability".
+const SchemaVersion = "dynamicmr.qstats/1"
+
+// Query states.
+const (
+	StateRunning   = "running"
+	StateOK        = "ok"
+	StateFailed    = "failed"
+	StateAbandoned = "abandoned"
+)
+
+// DefaultMaxRecords bounds the finished-query detail list so an
+// unbounded serve loop (-queries 0) cannot grow memory without limit;
+// per-policy aggregates are unaffected by the trim.
+const DefaultMaxRecords = 10000
+
+// DefaultQPSWindowS is the sliding wall-clock window for the per-policy
+// QPS gauge, in seconds.
+const DefaultQPSWindowS = 60.0
+
+// QueryRecord is the lifecycle and attribution record of one query.
+// Timestamps with the VT suffix are virtual seconds; Wall timestamps
+// are wall-clock seconds since the registry was created. Lifecycle
+// fields that have not happened (yet) hold -1.
+type QueryRecord struct {
+	ID      string `json:"id"`
+	JobID   int    `json:"job"`
+	SQL     string `json:"query"`
+	User    string `json:"user"`
+	Policy  string `json:"policy"`
+	K       int64  `json:"k"`
+	Dynamic bool   `json:"dynamic"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+
+	SubmitVT     float64 `json:"submit_vt_s"`
+	FirstMatchVT float64 `json:"first_match_vt_s"`
+	LimitHitVT   float64 `json:"limit_hit_vt_s"`
+	FinishVT     float64 `json:"finish_vt_s"`
+
+	SubmitWall     float64 `json:"submit_wall_s"`
+	FirstMatchWall float64 `json:"first_match_wall_s"`
+	LimitHitWall   float64 `json:"limit_hit_wall_s"`
+	FinishWall     float64 `json:"finish_wall_s"`
+
+	LatencyVirtualS float64 `json:"latency_virtual_s"`
+	LatencyWallS    float64 `json:"latency_wall_s"`
+
+	// Resource attribution.
+	SplitsTotal    int     `json:"splits_total"`
+	SplitsGrabbed  int     `json:"splits_grabbed"`
+	SplitsScanned  int     `json:"splits_scanned"`
+	RecordsRead    int64   `json:"records_read"`
+	Matches        int64   `json:"matches"`
+	OvershootRows  int64   `json:"overshoot_rows"`
+	Rows           int     `json:"rows"`
+	ProviderEvals  int     `json:"provider_evaluations"`
+	MapSeconds     float64 `json:"map_time_s"`
+	ShuffleSeconds float64 `json:"shuffle_time_s"`
+	ReduceSeconds  float64 `json:"reduce_time_s"`
+
+	// Diagnosis is the per-query diag breakdown (critical path,
+	// nine-component breakdown summing to the makespan, anomalies),
+	// produced incrementally at finish; nil when tracing was disabled
+	// or the job's spans were evicted before finish (DiagError says
+	// why).
+	Diagnosis *diag.JobDiagnosis `json:"diagnosis,omitempty"`
+	DiagError string             `json:"diag_error,omitempty"`
+
+	job *mapreduce.Job // engine-goroutine use only; not marshaled
+}
+
+// PolicyLatency is the rolling per-policy latency/QPS aggregate.
+// Quantiles are log-bucket upper bounds (at most ~9% above the true
+// value); Max values are exact.
+type PolicyLatency struct {
+	Policy     string  `json:"policy"`
+	Finished   int64   `json:"finished"`
+	Failed     int64   `json:"failed"`
+	QPS        float64 `json:"qps_window"`
+	QPSWindowS float64 `json:"qps_window_s"`
+
+	WallP50S float64 `json:"wall_p50_s"`
+	WallP90S float64 `json:"wall_p90_s"`
+	WallP99S float64 `json:"wall_p99_s"`
+	WallMaxS float64 `json:"wall_max_s"`
+
+	VirtualP50S float64 `json:"virtual_p50_s"`
+	VirtualP90S float64 `json:"virtual_p90_s"`
+	VirtualP99S float64 `json:"virtual_p99_s"`
+	VirtualMaxS float64 `json:"virtual_max_s"`
+}
+
+// Dump is the full registry snapshot serialised as SchemaVersion.
+type Dump struct {
+	Schema       string          `json:"schema"`
+	VirtualTimeS float64         `json:"virtual_time_s"`
+	WallTimeS    float64         `json:"wall_time_s"`
+	Started      int64           `json:"queries_started"`
+	Finished     int64           `json:"queries_finished"`
+	Failed       int64           `json:"queries_failed"`
+	Policies     []PolicyLatency `json:"policies"`
+	InFlight     []QueryRecord   `json:"in_flight"`
+	Queries      []QueryRecord   `json:"queries"`
+}
+
+type policyAgg struct {
+	name     string
+	finished int64
+	failed   int64
+	wall     Hist
+	virtual  Hist
+	qps      qpsWindow
+}
+
+// Registry tracks every query submitted through sessions wired to it.
+// All methods are safe on a nil *Registry (the disabled state) and
+// safe for concurrent use; event callbacks run on the engine
+// goroutine, snapshot methods may run on HTTP handler goroutines.
+type Registry struct {
+	mu sync.Mutex
+
+	jt    *mapreduce.JobTracker
+	start time.Time
+	now   func() float64 // wall seconds since start; injectable in tests
+
+	nextID     int
+	maxRecords int
+
+	inflight map[int]*QueryRecord // keyed by job ID
+	records  []*QueryRecord       // finished/abandoned, oldest first
+	dropped  int64                // finished records trimmed from the list
+
+	spanCursor     int64
+	decisionCursor int
+	spans          map[int][]trace.Span
+	decisions      map[int][]trace.PolicyDecision
+
+	policies []*policyAgg
+	byPolicy map[string]*policyAgg
+
+	started, finished, failed int64
+}
+
+// NewRegistry builds a registry bound to the JobTracker's event bus.
+func NewRegistry(jt *mapreduce.JobTracker) *Registry {
+	start := time.Now()
+	r := &Registry{
+		jt:         jt,
+		start:      start,
+		now:        func() float64 { return time.Since(start).Seconds() },
+		maxRecords: DefaultMaxRecords,
+		inflight:   make(map[int]*QueryRecord),
+		spans:      make(map[int][]trace.Span),
+		decisions:  make(map[int][]trace.PolicyDecision),
+		byPolicy:   make(map[string]*policyAgg),
+	}
+	jt.Subscribe(r.onEvent)
+	return r
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// AllocID reserves the next stable query ID. It is called before job
+// submission so the ID can ride the JobConf (mapreduce.ConfQueryID)
+// and appear in every log record the runtime emits for the job.
+func (r *Registry) AllocID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	return fmt.Sprintf("q-%06d", r.nextID)
+}
+
+// Register binds an allocated ID to a submitted job and opens its
+// lifecycle record. totalSplits is the table's full split count (the
+// denominator of "splits grabbed of N").
+func (r *Registry) Register(id string, job *mapreduce.Job, sql string, totalSplits int) {
+	if r == nil || job == nil {
+		return
+	}
+	policy := job.Conf.Get(mapreduce.ConfDynamicPolicy, "")
+	if policy == "" {
+		if job.Dynamic {
+			policy = "dynamic"
+		} else {
+			policy = "static"
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := &QueryRecord{
+		ID:      id,
+		JobID:   job.ID,
+		SQL:     sql,
+		User:    job.User,
+		Policy:  policy,
+		K:       job.Conf.GetInt(mapreduce.ConfSampleSize, -1),
+		Dynamic: job.Dynamic,
+		State:   StateRunning,
+
+		SubmitVT:       job.SubmitTime,
+		FirstMatchVT:   -1,
+		LimitHitVT:     -1,
+		FinishVT:       -1,
+		SubmitWall:     r.now(),
+		FirstMatchWall: -1,
+		LimitHitWall:   -1,
+		FinishWall:     -1,
+
+		SplitsTotal: totalSplits,
+		job:         job,
+	}
+	r.inflight[job.ID] = rec
+	r.started++
+	// A job can be Done before Register runs (a static job over zero
+	// splits completes inside Submit, before the session regains
+	// control). Finalise it from the record we just opened.
+	if job.Done() {
+		r.finishLocked(rec, job.FinishTime)
+	}
+}
+
+func (r *Registry) onEvent(e mapreduce.TaskEvent) {
+	switch e.Type {
+	case mapreduce.EventMapFinished:
+		r.onProgress(e)
+	case mapreduce.EventJobFinished:
+		r.onFinished(e)
+	}
+}
+
+// refreshLocked re-reads the job's live counters into the record. Only
+// called on the engine goroutine (event callbacks), where touching the
+// job is race-free.
+func refreshLocked(rec *QueryRecord) {
+	job := rec.job
+	rec.SplitsGrabbed = job.ScheduledMaps()
+	rec.SplitsScanned = job.CompletedMaps()
+	rec.RecordsRead = job.Counters.MapInputRecords
+	rec.Matches = job.Counters.MapOutputRecords
+}
+
+func (r *Registry) onProgress(e mapreduce.TaskEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.inflight[e.JobID]
+	if !ok {
+		return
+	}
+	refreshLocked(rec)
+	if rec.Matches > 0 && rec.FirstMatchVT < 0 {
+		rec.FirstMatchVT = e.Time
+		rec.FirstMatchWall = r.now()
+	}
+	if rec.K > 0 && rec.Matches >= rec.K && rec.LimitHitVT < 0 {
+		rec.LimitHitVT = e.Time
+		rec.LimitHitWall = r.now()
+	}
+}
+
+func (r *Registry) onFinished(e mapreduce.TaskEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.inflight[e.JobID]
+	if !ok {
+		return
+	}
+	r.finishLocked(rec, e.Time)
+}
+
+// finishLocked finalises a query: closes the lifecycle, attributes
+// resources and phase seconds from the query's span slice, runs the
+// incremental diagnosis, and folds the latency into the per-policy
+// aggregates.
+func (r *Registry) finishLocked(rec *QueryRecord, vt float64) {
+	// Bucket any trace entries produced since the last finish while the
+	// job is still in the inflight set, then take this job's slices.
+	r.drainLocked()
+	spans := r.spans[rec.JobID]
+	decs := r.decisions[rec.JobID]
+	delete(r.spans, rec.JobID)
+	delete(r.decisions, rec.JobID)
+	delete(r.inflight, rec.JobID)
+
+	job := rec.job
+	rec.job = nil
+	rec.SplitsGrabbed = job.ScheduledMaps()
+	rec.SplitsScanned = job.CompletedMaps()
+	rec.RecordsRead = job.Counters.MapInputRecords
+	rec.Matches = job.Counters.MapOutputRecords
+	rec.Rows = len(job.Output())
+	if rec.K >= 0 {
+		if over := rec.Matches - rec.K; over > 0 {
+			rec.OvershootRows = over
+		}
+	}
+	if rec.Matches > 0 && rec.FirstMatchVT < 0 {
+		rec.FirstMatchVT = vt
+		rec.FirstMatchWall = r.now()
+	}
+	if rec.K > 0 && rec.Matches >= rec.K && rec.LimitHitVT < 0 {
+		rec.LimitHitVT = vt
+		rec.LimitHitWall = r.now()
+	}
+
+	rec.FinishVT = vt
+	rec.FinishWall = r.now()
+	rec.LatencyVirtualS = rec.FinishVT - rec.SubmitVT
+	rec.LatencyWallS = rec.FinishWall - rec.SubmitWall
+	if job.State() == mapreduce.StateSucceeded {
+		rec.State = StateOK
+	} else {
+		rec.State = StateFailed
+		rec.Error = job.Failure()
+	}
+
+	rec.ProviderEvals = len(decs)
+	for _, s := range spans {
+		switch s.Name {
+		case trace.SpanMapAttempt:
+			rec.MapSeconds += s.Duration()
+		case trace.SpanShuffle, trace.SpanSort:
+			rec.ShuffleSeconds += s.Duration()
+		case trace.SpanReduceCPU, trace.SpanOutputWrite:
+			rec.ReduceSeconds += s.Duration()
+		}
+	}
+
+	if tr := r.jt.Tracer(); tr.Enabled() {
+		d, err := diag.AnalyzeJob(rec.JobID, spans, decs, diag.Config{})
+		if err != nil {
+			rec.DiagError = err.Error()
+		} else {
+			rec.Diagnosis = d
+		}
+	}
+
+	agg := r.byPolicy[rec.Policy]
+	if agg == nil {
+		agg = &policyAgg{name: rec.Policy, qps: qpsWindow{window: DefaultQPSWindowS}}
+		r.byPolicy[rec.Policy] = agg
+		r.policies = append(r.policies, agg)
+	}
+	agg.finished++
+	r.finished++
+	if rec.State == StateFailed {
+		agg.failed++
+		r.failed++
+	}
+	agg.wall.Observe(rec.LatencyWallS)
+	agg.virtual.Observe(rec.LatencyVirtualS)
+	agg.qps.add(rec.FinishWall)
+
+	r.records = append(r.records, rec)
+	// Amortised trim: let the slice overshoot by 25% before compacting
+	// so the copy cost is O(1) per finished query, not O(maxRecords).
+	if len(r.records) > r.maxRecords+r.maxRecords/4 {
+		n := len(r.records) - r.maxRecords
+		r.dropped += int64(n)
+		r.records = append(r.records[:0:0], r.records[n:]...)
+	}
+}
+
+// Abandon closes the record of a query whose caller gave up on it (a
+// Hive deadline) while the job may still be running. The job's later
+// EventJobFinished is ignored.
+func (r *Registry) Abandon(job *mapreduce.Job, reason string) {
+	if r == nil || job == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.inflight[job.ID]
+	if !ok {
+		return
+	}
+	delete(r.inflight, job.ID)
+	delete(r.spans, job.ID)
+	delete(r.decisions, job.ID)
+	rec.job = nil
+	rec.SplitsGrabbed = job.ScheduledMaps()
+	rec.SplitsScanned = job.CompletedMaps()
+	rec.RecordsRead = job.Counters.MapInputRecords
+	rec.Matches = job.Counters.MapOutputRecords
+	rec.State = StateAbandoned
+	rec.Error = reason
+	rec.FinishVT = r.jt.Engine().Now()
+	rec.FinishWall = r.now()
+	rec.LatencyVirtualS = rec.FinishVT - rec.SubmitVT
+	rec.LatencyWallS = rec.FinishWall - rec.SubmitWall
+	r.finished++
+	r.failed++
+	r.records = append(r.records, rec)
+}
+
+// drainLocked advances the trace cursors, bucketing fresh spans and
+// policy decisions by the in-flight job they belong to. Entries for
+// jobs the registry is not tracking (estimation jobs, finished jobs'
+// stragglers) are discarded.
+func (r *Registry) drainLocked() {
+	tr := r.jt.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	spans, cur := tr.SpansSince(r.spanCursor)
+	r.spanCursor = cur
+	for _, s := range spans {
+		if s.Job < 0 {
+			continue
+		}
+		if _, ok := r.inflight[s.Job]; ok {
+			r.spans[s.Job] = append(r.spans[s.Job], s)
+		}
+	}
+	decs := tr.PolicyDecisionsSince(r.decisionCursor)
+	r.decisionCursor += len(decs)
+	for _, d := range decs {
+		if _, ok := r.inflight[d.JobID]; ok {
+			r.decisions[d.JobID] = append(r.decisions[d.JobID], d)
+		}
+	}
+}
+
+// Totals returns the started/finished/failed query counts.
+func (r *Registry) Totals() (started, finished, failed int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.started, r.finished, r.failed
+}
+
+// Summaries returns the finished queries, oldest first (bounded by
+// DefaultMaxRecords; the oldest beyond the bound have been dropped).
+func (r *Registry) Summaries() []QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryRecord, 0, len(r.records))
+	for _, rec := range r.records {
+		out = append(out, *rec)
+	}
+	return out
+}
+
+// InFlight returns the currently running queries, ordered by job ID.
+func (r *Registry) InFlight() []QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflightLocked()
+}
+
+func (r *Registry) inflightLocked() []QueryRecord {
+	out := make([]QueryRecord, 0, len(r.inflight))
+	for _, rec := range r.inflight {
+		out = append(out, *rec)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].JobID < out[j-1].JobID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Find returns the record with the given query ID, searching finished
+// queries and then in-flight ones.
+func (r *Registry) Find(id string) (QueryRecord, bool) {
+	if r == nil {
+		return QueryRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.records) - 1; i >= 0; i-- {
+		if r.records[i].ID == id {
+			return *r.records[i], true
+		}
+	}
+	for _, rec := range r.inflight {
+		if rec.ID == id {
+			return *rec, true
+		}
+	}
+	return QueryRecord{}, false
+}
+
+// PolicyStats returns the rolling per-policy aggregates in
+// first-seen order.
+func (r *Registry) PolicyStats() []PolicyLatency {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policyStatsLocked()
+}
+
+func (r *Registry) policyStatsLocked() []PolicyLatency {
+	now := r.now()
+	out := make([]PolicyLatency, 0, len(r.policies))
+	for _, a := range r.policies {
+		out = append(out, PolicyLatency{
+			Policy:      a.name,
+			Finished:    a.finished,
+			Failed:      a.failed,
+			QPS:         a.qps.rate(now),
+			QPSWindowS:  a.qps.window,
+			WallP50S:    a.wall.Quantile(0.50),
+			WallP90S:    a.wall.Quantile(0.90),
+			WallP99S:    a.wall.Quantile(0.99),
+			WallMaxS:    a.wall.Max(),
+			VirtualP50S: a.virtual.Quantile(0.50),
+			VirtualP90S: a.virtual.Quantile(0.90),
+			VirtualP99S: a.virtual.Quantile(0.99),
+			VirtualMaxS: a.virtual.Max(),
+		})
+	}
+	return out
+}
+
+// Dump snapshots the whole registry. The virtual clock is read from
+// the engine, so callers must either hold the simulation lock or know
+// the engine is idle.
+func (r *Registry) Dump() Dump {
+	if r == nil {
+		return Dump{Schema: SchemaVersion}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := Dump{
+		Schema:       SchemaVersion,
+		VirtualTimeS: r.jt.Engine().Now(),
+		WallTimeS:    r.now(),
+		Started:      r.started,
+		Finished:     r.finished,
+		Failed:       r.failed,
+		Policies:     r.policyStatsLocked(),
+		InFlight:     r.inflightLocked(),
+	}
+	d.Queries = make([]QueryRecord, 0, len(r.records))
+	for _, rec := range r.records {
+		d.Queries = append(d.Queries, *rec)
+	}
+	return d
+}
+
+// WriteJSON writes the Dump as indented JSON (the -qstats-out file
+// format, schema SchemaVersion).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Dump())
+}

@@ -17,9 +17,10 @@ import (
 type PromType string
 
 const (
-	PromCounter PromType = "counter"
-	PromGauge   PromType = "gauge"
-	PromUntyped PromType = "untyped"
+	PromCounter   PromType = "counter"
+	PromGauge     PromType = "gauge"
+	PromUntyped   PromType = "untyped"
+	PromHistogram PromType = "histogram"
 )
 
 // PromLabel is one name="value" pair on a sample.
@@ -28,10 +29,14 @@ type PromLabel struct {
 	Value string
 }
 
-// PromSample is one exposition line's worth of data.
+// PromSample is one exposition line's worth of data. Suffix, when set,
+// is appended verbatim to the sanitized family name — histogram
+// families use it to emit the spec's _bucket/_sum/_count series under
+// one # TYPE declaration.
 type PromSample struct {
 	Labels []PromLabel
 	Value  float64
+	Suffix string
 }
 
 // PromFamily is a named metric family: a HELP line, a TYPE line, and
@@ -109,6 +114,7 @@ func WritePrometheus(w io.Writer, families []PromFamily) error {
 func writePromSample(w io.Writer, name string, s PromSample) error {
 	var b strings.Builder
 	b.WriteString(name)
+	b.WriteString(s.Suffix)
 	if len(s.Labels) > 0 {
 		b.WriteByte('{')
 		for i, l := range s.Labels {

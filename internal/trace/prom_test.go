@@ -62,6 +62,42 @@ no_type 1.5
 	}
 }
 
+// TestWritePrometheusHistogramGolden pins the histogram exposition
+// byte-for-byte: one # TYPE histogram declaration followed by
+// _bucket{le=...} series (cumulative, ending at +Inf), _sum and _count
+// — the shape qstats emits for its per-policy latency families.
+func TestWritePrometheusHistogramGolden(t *testing.T) {
+	families := []PromFamily{
+		{
+			Name: "dynmr.query.latency_wall_s",
+			Help: "Wall-clock query latency.",
+			Type: PromHistogram,
+			Samples: []PromSample{
+				{Suffix: "_bucket", Labels: []PromLabel{{Name: "policy", Value: "LA"}, {Name: "le", Value: "0.001"}}, Value: 0},
+				{Suffix: "_bucket", Labels: []PromLabel{{Name: "policy", Value: "LA"}, {Name: "le", Value: "0.004"}}, Value: 3},
+				{Suffix: "_bucket", Labels: []PromLabel{{Name: "policy", Value: "LA"}, {Name: "le", Value: "+Inf"}}, Value: 5},
+				{Suffix: "_sum", Labels: []PromLabel{{Name: "policy", Value: "LA"}}, Value: 0.0625},
+				{Suffix: "_count", Labels: []PromLabel{{Name: "policy", Value: "LA"}}, Value: 5},
+			},
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, families); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dynmr_query_latency_wall_s Wall-clock query latency.
+# TYPE dynmr_query_latency_wall_s histogram
+dynmr_query_latency_wall_s_bucket{policy="LA",le="0.001"} 0
+dynmr_query_latency_wall_s_bucket{policy="LA",le="0.004"} 3
+dynmr_query_latency_wall_s_bucket{policy="LA",le="+Inf"} 5
+dynmr_query_latency_wall_s_sum{policy="LA"} 0.0625
+dynmr_query_latency_wall_s_count{policy="LA"} 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("histogram exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 func TestPromFamiliesFromRegistry(t *testing.T) {
 	tr := New(Config{Enabled: true})
 	tr.Inc(CounterMapAttempts, 12)

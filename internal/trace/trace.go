@@ -235,6 +235,56 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// SpanCount returns the total number of spans ever recorded (buffered
+// plus evicted): the sequence number the next Record call will receive.
+// Pairing it with SpansSince lets incremental consumers (the qstats
+// registry) poll cheaply without copying the whole ring.
+func (t *Tracer) SpanCount() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(t.n) + t.dropped
+}
+
+// SpansSince returns the spans recorded at sequence >= from that are
+// still buffered (oldest-first), plus the new cursor (the total
+// recorded count). Spans evicted from the ring before being read are
+// silently skipped — callers needing loss detection compare the
+// requested cursor against SpanCount minus the buffered length. It
+// mirrors PolicyDecisionsSince for the span ring.
+func (t *Tracer) SpansSince(from int64) ([]Span, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := int64(t.n) + t.dropped
+	oldest := total - int64(t.n)
+	if from < oldest {
+		from = oldest
+	}
+	if from >= total {
+		return nil, total
+	}
+	out := make([]Span, 0, total-from)
+	if t.n < len(t.spans) || t.n < t.cfg.capacity() {
+		// Ring not yet wrapped: sequence i lives at index i.
+		out = append(out, t.spans[from:total]...)
+		return out, total
+	}
+	// Wrapped ring: the oldest sequence lives at head.
+	start := (t.head + int(from-oldest)) % len(t.spans)
+	if start+int(total-from) <= len(t.spans) {
+		out = append(out, t.spans[start:start+int(total-from)]...)
+		return out, total
+	}
+	out = append(out, t.spans[start:]...)
+	out = append(out, t.spans[:int(total-from)-(len(t.spans)-start)]...)
+	return out, total
+}
+
 // CountSpans returns how many buffered spans carry the name.
 func (t *Tracer) CountSpans(name string) int {
 	n := 0

@@ -94,6 +94,65 @@ func TestRingPartiallyFilled(t *testing.T) {
 	}
 }
 
+// TestSpansSinceIncrementalCursor drives the cursor API through every
+// ring state: partial fill, exact fill, wrapped with losses, and a
+// stale cursor older than the retained window.
+func TestSpansSinceIncrementalCursor(t *testing.T) {
+	tr := New(Config{Enabled: true, Capacity: 4})
+
+	if got, cur := tr.SpansSince(0); len(got) != 0 || cur != 0 {
+		t.Fatalf("empty ring: got %d spans, cursor %d", len(got), cur)
+	}
+
+	// Partial fill: sequences 0..2.
+	for i := 0; i < 3; i++ {
+		tr.Record(Span{Name: SpanQueueWait, Task: i})
+	}
+	got, cur := tr.SpansSince(0)
+	if len(got) != 3 || got[0].Task != 0 || got[2].Task != 2 || cur != 3 {
+		t.Fatalf("partial fill: %+v cursor %d", got, cur)
+	}
+	if got, cur2 := tr.SpansSince(cur); len(got) != 0 || cur2 != 3 {
+		t.Fatalf("caught-up cursor returned %d spans, cursor %d", len(got), cur2)
+	}
+
+	// Fill past capacity: sequences 3..9, ring retains 6..9.
+	for i := 3; i < 10; i++ {
+		tr.Record(Span{Name: SpanQueueWait, Task: i})
+	}
+	got, cur = tr.SpansSince(cur)
+	if cur != 10 {
+		t.Fatalf("cursor = %d, want 10", cur)
+	}
+	if len(got) != 4 || got[0].Task != 6 || got[3].Task != 9 {
+		t.Fatalf("wrapped reads dropped the wrong spans: %+v", got)
+	}
+	if tr.SpanCount() != 10 {
+		t.Fatalf("SpanCount = %d, want 10", tr.SpanCount())
+	}
+
+	// Mid-window cursor on a wrapped ring.
+	tr.Record(Span{Name: SpanQueueWait, Task: 10}) // retains 7..10
+	got, cur = tr.SpansSince(9)
+	if len(got) != 2 || got[0].Task != 9 || got[1].Task != 10 || cur != 11 {
+		t.Fatalf("mid-window read: %+v cursor %d", got, cur)
+	}
+
+	// A stale cursor (0) clamps to the oldest retained sequence.
+	got, _ = tr.SpansSince(0)
+	if len(got) != 4 || got[0].Task != 7 {
+		t.Fatalf("stale cursor read: %+v", got)
+	}
+
+	// Nil tracer is safe.
+	if got, cur := (*Tracer)(nil).SpansSince(5); got != nil || cur != 0 {
+		t.Fatalf("nil tracer SpansSince = %v, %d", got, cur)
+	}
+	if (*Tracer)(nil).SpanCount() != 0 {
+		t.Fatal("nil tracer SpanCount != 0")
+	}
+}
+
 func TestRegistryCountersAndHistograms(t *testing.T) {
 	tr := New(Config{Enabled: true})
 	tr.Inc(CounterMapAttempts, 2)

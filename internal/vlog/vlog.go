@@ -18,6 +18,7 @@
 //	verdict string   policy decision verdict (INIT/GROW/WAIT/EOI/SKIP)
 //	user    string   session user
 //	query   string   SQL statement text
+//	qid     string   stable query ID assigned by the qstats registry
 //	comp    string   emitting component (e.g. "jobtracker", "hive")
 package vlog
 
@@ -43,6 +44,7 @@ const (
 	KeyVerdict   = "verdict"
 	KeyUser      = "user"
 	KeyQuery     = "query"
+	KeyQueryID   = "qid"
 	KeyComponent = "comp"
 )
 
