@@ -34,9 +34,10 @@ func explainMain(args []string) {
 	out := fs.String("out", "", "write the diagnosis to FILE instead of stdout")
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
+	engineMode := fs.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
 	fs.Parse(args)
 
-	opts := append(clusterOpts(*multi, *fair), dynamicmr.WithTracing(trace.Config{}))
+	opts := append(clusterOpts(*multi, *fair, *engineMode), dynamicmr.WithTracing(trace.Config{}))
 	if *spec {
 		opts = append(opts, dynamicmr.WithSpeculativeExecution())
 	}
@@ -46,6 +47,7 @@ func explainMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	defer c.Close()
 	ds, err := c.LoadLineItem("lineitem", dynamicmr.DatasetSpec{
 		Scale: *scale, Skew: *skewZ, Rows: *rows, Seed: 42,
 	})

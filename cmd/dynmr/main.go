@@ -81,9 +81,10 @@ func main() {
 	sampleInterval := flag.Float64("sample-interval", 0, "utilization sampler cadence in virtual seconds for -report-out (0 = 30s default)")
 	logOut := flag.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
+	engineMode := flag.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
 	flag.Parse()
 
-	opts := clusterOpts(*multi, *fair)
+	opts := clusterOpts(*multi, *fair, *engineMode)
 	if *traceOut != "" || *reportOut != "" {
 		opts = append(opts, dynamicmr.WithTracing(trace.Config{}))
 	}
@@ -96,6 +97,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer c.Close()
 	if *eventLog {
 		c.JobTracker().Subscribe(func(e mapreduce.TaskEvent) {
 			fmt.Fprintln(os.Stderr, e)

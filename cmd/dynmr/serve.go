@@ -46,9 +46,10 @@ func serveMain(args []string) {
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
+	engineMode := fs.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
 	fs.Parse(args)
 
-	opts := append(clusterOpts(*multi, *fair),
+	opts := append(clusterOpts(*multi, *fair, *engineMode),
 		dynamicmr.WithQueryStats(),
 		dynamicmr.WithUtilizationSampling(*sampleInterval))
 	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
@@ -131,6 +132,9 @@ loop:
 		})
 	writeQStats(c, *qstatsOut)
 	srv.Unlock()
+	// Release session state: resident map outputs, pinned blocks and
+	// scan workers all go with the cluster.
+	c.Close()
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -159,15 +163,18 @@ func writeQStats(c *dynamicmr.Cluster, path string) {
 	fmt.Fprintf(os.Stderr, "wrote per-query stats to %s\n", path)
 }
 
-// clusterOpts assembles the hardware/scheduler options shared with the
-// shell mode.
-func clusterOpts(multi, fair bool) []dynamicmr.Option {
+// clusterOpts assembles the hardware/scheduler/engine options shared
+// with the shell mode.
+func clusterOpts(multi, fair bool, engineMode string) []dynamicmr.Option {
 	var opts []dynamicmr.Option
 	if multi {
 		opts = append(opts, dynamicmr.WithMultiUserSlots())
 	}
 	if fair {
 		opts = append(opts, dynamicmr.WithFairScheduler(5))
+	}
+	if engineMode != "" {
+		opts = append(opts, dynamicmr.WithEngineMode(engineMode))
 	}
 	return opts
 }

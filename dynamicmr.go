@@ -43,6 +43,24 @@ type DatasetSpec struct {
 	Partitions int
 }
 
+// Engine modes selectable with WithEngineMode.
+const (
+	// EngineModeBaseline is the stock runtime: map outputs are built,
+	// partitioned and sorted from scratch for every job.
+	EngineModeBaseline = "baseline"
+	// EngineModeMemory keeps session state resident across the jobs of
+	// a query (the M3R idea): partitioned, pre-sorted map outputs are
+	// reused by later jobs over the same splits (delta-shuffle), and the
+	// dataset blocks behind grabbed splits stay pinned hot. Query
+	// results and virtual timings are byte-identical to baseline; only
+	// real wall-clock time and allocations improve.
+	EngineModeMemory = "memory"
+)
+
+// defaultResidentCap bounds the memory engine mode's resident bytes
+// (encoded map-output size) unless WithRuntime supplied a store.
+const defaultResidentCap = 512 << 20
+
 // Option configures NewCluster.
 type Option func(*config)
 
@@ -51,6 +69,7 @@ type config struct {
 	runtime        mapreduce.Config
 	scheduler      mapreduce.TaskScheduler
 	policies       *core.Registry
+	engineMode     string
 	sample         bool
 	sampleInterval float64
 	qstats         bool
@@ -103,6 +122,17 @@ func WithPolicies(r *core.Registry) Option {
 // Close when done to stop the workers.
 func WithScanWorkers(n int) Option {
 	return func(c *config) { c.runtime.ScanExecutor = executor.NewPool(n) }
+}
+
+// WithEngineMode selects the execution engine mode: EngineModeBaseline
+// (the default) or EngineModeMemory, which keeps per-session map
+// outputs resident and partition-stable across the jobs of a query so
+// GROW rounds only shuffle newly grabbed splits. NewCluster rejects
+// unknown modes. Memory mode changes real wall-clock time and
+// allocations only — the virtual timeline and every query result stay
+// byte-identical to baseline.
+func WithEngineMode(mode string) Option {
+	return func(c *config) { c.engineMode = mode }
 }
 
 // WithTracing enables the tracing/metrics subsystem with the given
@@ -171,6 +201,8 @@ type Cluster struct {
 	sampler  *obs.Sampler
 	qstats   *qstats.Registry
 	scanPool *executor.Pool
+	resident *mapreduce.ResidentStore
+	closed   bool
 	seed     int64
 }
 
@@ -190,6 +222,23 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	if cfg.policies == nil {
 		cfg.policies = core.DefaultRegistry()
+	}
+	var resident *mapreduce.ResidentStore
+	switch cfg.engineMode {
+	case "", EngineModeBaseline:
+		// stock runtime
+	case EngineModeMemory:
+		resident = cfg.runtime.ResidentStore
+		if resident == nil {
+			resident = mapreduce.NewResidentStore(cfg.runtime.MapOutputCache, defaultResidentCap)
+			cfg.runtime.ResidentStore = resident
+		}
+		// The cluster itself holds a claim so resident state survives
+		// individual session churn; Close releases it.
+		resident.Retain()
+	default:
+		return nil, fmt.Errorf("dynamicmr: unknown engine mode %q (want %q or %q)",
+			cfg.engineMode, EngineModeBaseline, EngineModeMemory)
 	}
 	eng := sim.NewEngine()
 	hw := cluster.New(eng, cfg.hw)
@@ -214,6 +263,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		policies: cfg.policies,
 		sessions: make(map[string]*hive.Session),
 		scanPool: cfg.runtime.ScanExecutor,
+		resident: resident,
 	}
 	if cfg.sample {
 		c.sampler = obs.NewSampler(c.jt, obs.Config{IntervalS: cfg.sampleInterval})
@@ -228,10 +278,42 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 // Now returns the cluster's virtual time in seconds.
 func (c *Cluster) Now() float64 { return c.eng.Now() }
 
-// Close releases background resources: the scan-executor pool's
-// workers when built WithScanWorkers. Safe to call on any cluster, at
-// most once; queries submitted after Close fall back to inline scans.
-func (c *Cluster) Close() { c.scanPool.Close() }
+// Close releases the cluster's background resources: every open
+// session's per-session state, the memory engine mode's resident store
+// (parts purged, blocks unpinned) and the scan-executor pool's workers
+// when built WithScanWorkers. Idempotent and safe to call on any
+// cluster; queries submitted after Close fall back to inline scans
+// with no resident reuse.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, s := range c.sessions {
+		s.Close()
+	}
+	if c.resident != nil {
+		c.resident.Release()
+	}
+	c.scanPool.Close()
+}
+
+// EngineMode reports the mode the cluster was built with.
+func (c *Cluster) EngineMode() string {
+	if c.resident != nil {
+		return EngineModeMemory
+	}
+	return EngineModeBaseline
+}
+
+// ResidentStats snapshots the memory engine mode's resident store; ok
+// is false (and the stats zero) in baseline mode.
+func (c *Cluster) ResidentStats() (mapreduce.ResidentStats, bool) {
+	if c.resident == nil {
+		return mapreduce.ResidentStats{}, false
+	}
+	return c.resident.Stats(), true
+}
 
 // Policies returns the policy registry (the policy.xml contents).
 func (c *Cluster) Policies() *core.Registry { return c.policies }
@@ -334,6 +416,7 @@ func (c *Cluster) Session(user string) *hive.Session {
 	if !ok {
 		s = hive.NewSession(c.jt, c.catalog, c.policies, user)
 		s.SetQueryStats(c.qstats)
+		s.SetResidentStore(c.resident)
 		c.sessions[user] = s
 	}
 	return s

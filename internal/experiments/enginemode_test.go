@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/core"
+)
+
+// TestEngineModeByteIdentical runs one figure-5 sweep in baseline and
+// memory engine mode: every rendered table must be byte-identical. The
+// resident store reuses partitioned map outputs for real wall-clock
+// time only — simulated costs come from split metadata either way — so
+// virtual time, and with it every number the experiments print, must
+// not observe the mode.
+func TestEngineModeByteIdentical(t *testing.T) {
+	render := func(mode string) string {
+		opt := tinyOptions()
+		opt.Scales = []int{2}
+		opt.Policies = []string{core.PolicyLA, core.PolicyHadoop}
+		opt.EngineMode = mode
+		res, err := Figure5(opt)
+		if err != nil {
+			t.Fatalf("mode=%s: %v", mode, err)
+		}
+		var sb strings.Builder
+		for _, tb := range res.Tables() {
+			sb.WriteString(tb.CSV())
+		}
+		return sb.String()
+	}
+	base := render("baseline")
+	if got := render("memory"); got != base {
+		t.Errorf("memory engine changed figure-5 output:\n--- baseline ---\n%s\n--- memory ---\n%s", base, got)
+	}
+}

@@ -91,6 +91,15 @@ type Options struct {
 	// completion-event time — so all tables and CSVs are byte-identical
 	// at any setting.
 	ScanWorkers int
+	// EngineMode selects the runtime engine for every cell (the
+	// cmd/experiments -engine-mode flag): "" or "baseline" is the stock
+	// runtime; "memory" attaches a sweep-wide resident store so repeated
+	// jobs over the same splits reuse partitioned, pre-sorted map
+	// outputs (delta-shuffle) and keep their dataset blocks pinned hot.
+	// Like the scan executor, the store changes real wall-clock time and
+	// allocations only: all tables and CSVs are byte-identical in either
+	// mode.
+	EngineMode string
 }
 
 // DefaultOptions is the paper-faithful configuration.
@@ -134,8 +143,16 @@ func (o Options) validate() error {
 	if len(o.Policies) == 0 {
 		return fmt.Errorf("experiments: no policies selected")
 	}
+	switch o.EngineMode {
+	case "", "baseline", "memory":
+	default:
+		return fmt.Errorf("experiments: unknown engine mode %q (want baseline or memory)", o.EngineMode)
+	}
 	return nil
 }
+
+// memoryEngine reports whether cells run with a resident store.
+func (o Options) memoryEngine() bool { return o.EngineMode == "memory" }
 
 // datasetSpec builds the Spec for one (scale, z) cell.
 func (o Options) datasetSpec(scale int, z float64, name string, seedOffset int64) dataset.Spec {

@@ -1,0 +1,227 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"dynamicmr/internal/cluster"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/sim"
+)
+
+// newResidentRig builds a testRig whose JobTracker runs in memory
+// engine mode over the given store (the store's memo doubles as the
+// MapOutputCache, as NewJobTracker wires by default).
+func newResidentRig(t *testing.T, store *ResidentStore) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	cfg := DefaultConfig()
+	cfg.ResidentStore = store
+	return &testRig{eng: eng, cl: cl, fs: dfs.New(cl), jt: NewJobTracker(cl, cfg, nil)}
+}
+
+// outputSignature flattens a job's output for byte-identity checks.
+func outputSignature(j *Job) string {
+	s := ""
+	for _, kv := range j.Output() {
+		s += fmt.Sprintf("%s=%v;", kv.Key, kv.Value)
+	}
+	return s
+}
+
+// runOK submits, drives and asserts success.
+func runOK(t *testing.T, r *testRig, spec JobSpec, f *dfs.File) *Job {
+	t.Helper()
+	job := r.jt.Submit(spec, SplitsForFile(f))
+	if !RunUntilDone(r.eng, job, 1e7) || job.State() != StateSucceeded {
+		t.Fatalf("job: state=%v failure=%q", job.State(), job.Failure())
+	}
+	return job
+}
+
+// mustMatch asserts a memory-mode job is indistinguishable from its
+// baseline twin (same rig geometry, same submission position): output
+// bytes, virtual response time and counters. Two *successive* jobs on
+// one rig legitimately differ (heartbeat phase), so the determinism
+// contract is always checked mode-against-mode, position by position.
+func mustMatch(t *testing.T, label string, baseline, mem *Job) {
+	t.Helper()
+	if want, got := outputSignature(baseline), outputSignature(mem); want != got {
+		t.Fatalf("%s: memory mode changed output\nbaseline: %.200s\nmemory:   %.200s", label, want, got)
+	}
+	if baseline.ResponseTime() != mem.ResponseTime() {
+		t.Fatalf("%s: memory mode changed virtual time: baseline %v, memory %v",
+			label, baseline.ResponseTime(), mem.ResponseTime())
+	}
+	if want, got := fmt.Sprintf("%+v", baseline.Counters), fmt.Sprintf("%+v", mem.Counters); want != got {
+		t.Fatalf("%s: counters diverged\nbaseline: %s\nmemory:   %s", label, want, got)
+	}
+}
+
+// A second job over the same (source, MemoKey, reduces) must be served
+// entirely from resident parts — no mapper constructions, no partition
+// rebuilds — while staying byte-identical to a baseline rig replaying
+// the same submission sequence.
+func TestResidentStoreDeltaShuffle(t *testing.T) {
+	srcs := makeSrcs(8, 100)
+	var base, mem [2]*Job
+	var execs atomic.Int64
+
+	br := newRig(t, nil)
+	fb, err := br.fs.Create("in", srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		base[i] = runOK(t, br, countingSpec("res|v1", &execs), fb)
+	}
+
+	execs.Store(0)
+	store := NewResidentStore(nil, 0)
+	mr := newResidentRig(t, store)
+	fm, err := mr.fs.Create("in", srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem[0] = runOK(t, mr, countingSpec("res|v1", &execs), fm)
+	st := store.Stats()
+	if st.Stores != 8 || st.Misses != 8 || st.Hits != 0 {
+		t.Fatalf("after job1: stats %+v, want 8 stores / 8 misses / 0 hits", st)
+	}
+	if st.LiveRefs != 0 {
+		t.Fatalf("job1 leaked %d part references", st.LiveRefs)
+	}
+	if st.ResidentBytes <= 0 || st.Parts != 8 {
+		t.Fatalf("after job1: parts=%d residentBytes=%d", st.Parts, st.ResidentBytes)
+	}
+	if got := fm.PinnedBlocks(); got != 8 {
+		t.Fatalf("resident splits pinned %d blocks, want 8", got)
+	}
+
+	mem[1] = runOK(t, mr, countingSpec("res|v1", &execs), fm)
+	if got := execs.Load(); got != 8 {
+		t.Fatalf("warm job re-ran mappers: executions = %d, want 8", got)
+	}
+	st = store.Stats()
+	if st.Hits != 8 {
+		t.Fatalf("after job2: hits = %d, want 8 (every map served resident)", st.Hits)
+	}
+	if st.LiveRefs != 0 {
+		t.Fatalf("job2 leaked %d part references", st.LiveRefs)
+	}
+	for i := range base {
+		mustMatch(t, fmt.Sprintf("job %d", i+1), base[i], mem[i])
+	}
+}
+
+// Multi-reduce jobs with overlapping per-chunk key ranges exercise the
+// k-way merge path; output and virtual timings must still match the
+// baseline rig position by position.
+func TestResidentModeMatchesBaseline(t *testing.T) {
+	srcs := makeSrcs(10, 60)
+	spec := func() JobSpec {
+		conf := NewJobConf()
+		conf.SetInt(ConfNumReduces, 3)
+		return JobSpec{
+			Conf:      conf,
+			NewMapper: func(*JobConf) Mapper { return countMapper{} },
+			MemoKey:   "res|merge",
+		}
+	}
+
+	br := newRig(t, nil)
+	fb, err := br.fs.Create("in", srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []*Job{runOK(t, br, spec(), fb), runOK(t, br, spec(), fb)}
+
+	store := NewResidentStore(nil, 0)
+	mr := newResidentRig(t, store)
+	fm, err := mr.fs.Create("in", srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runOK(t, mr, spec(), fm)
+	warm := runOK(t, mr, spec(), fm)
+	if store.Stats().Hits == 0 {
+		t.Fatal("warm job hit no resident parts")
+	}
+	mustMatch(t, "cold", base[0], cold)
+	mustMatch(t, "warm", base[1], warm)
+}
+
+// A byte cap evicts cold parts without ever changing results: evicted
+// parts are simply rebuilt, and the job sequence stays byte-identical
+// to a capless — and a storeless — run.
+func TestResidentStoreEviction(t *testing.T) {
+	srcs := makeSrcs(8, 100)
+	keys := []string{"res|e1", "res|e2", "res|e1"}
+	var execs atomic.Int64
+
+	run := func(store *ResidentStore) []*Job {
+		var r *testRig
+		if store != nil {
+			r = newResidentRig(t, store)
+		} else {
+			r = newRig(t, nil)
+		}
+		f, err := r.fs.Create("in", srcs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := make([]*Job, len(keys))
+		for i, k := range keys {
+			jobs[i] = runOK(t, r, countingSpec(k, &execs), f)
+		}
+		return jobs
+	}
+
+	base := run(nil)
+	capped := NewResidentStore(nil, 1) // cap below any part: everything unreferenced is evicted
+	jobs := run(capped)
+	st := capped.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 1-byte cap: %+v", st)
+	}
+	if st.LiveRefs != 0 {
+		t.Fatalf("leaked %d part references", st.LiveRefs)
+	}
+	for i := range base {
+		mustMatch(t, fmt.Sprintf("job %d (%s)", i+1, keys[i]), base[i], jobs[i])
+	}
+}
+
+// Release of the last session claim purges every part and unpins every
+// block — the leak test behind Session.Close/Cluster.Close.
+func TestResidentStoreReleasePurges(t *testing.T) {
+	store := NewResidentStore(nil, 0)
+	store.Retain()
+	r := newResidentRig(t, store)
+	f := r.makeFile(t, "in", 6, 50)
+	var execs atomic.Int64
+	runOK(t, r, countingSpec("res|leak", &execs), f)
+
+	if store.Len() == 0 || f.PinnedBlocks() == 0 {
+		t.Fatalf("precondition: nothing resident (parts=%d pinned=%d)", store.Len(), f.PinnedBlocks())
+	}
+	store.Release()
+	st := store.Stats()
+	if st.Parts != 0 || st.ResidentBytes != 0 || st.PinnedBytes != 0 || st.PinnedBlocks != 0 {
+		t.Fatalf("release did not purge: %+v", st)
+	}
+	if got := f.PinnedBlocks(); got != 0 {
+		t.Fatalf("%d blocks still pinned after release", got)
+	}
+	if st.LiveRefs != 0 || st.Sessions != 0 {
+		t.Fatalf("refs/sessions leaked: %+v", st)
+	}
+	store.Release() // idempotent beyond zero
+	// The store still works after a purge: parts are rebuilt on demand.
+	job := runOK(t, r, countingSpec("res|leak", &execs), f)
+	if len(job.Output()) != 300 {
+		t.Fatalf("post-purge job output = %d, want 300", len(job.Output()))
+	}
+}

@@ -43,8 +43,10 @@ func (jt *JobTracker) submitScan(t *MapTask) *executor.Future {
 	cache := jt.cfg.MapOutputCache
 	if cache != nil {
 		if out, ok := cache.lookup(src, memo); ok {
+			jt.tracer.Inc(trace.CounterMemoHits, 1)
 			return executor.Resolved(out)
 		}
+		jt.tracer.Inc(trace.CounterMemoMisses, 1)
 	}
 	// The closure captures only values fixed when the phase chain
 	// starts — the spec (user factories + MemoKey), the conf, the split

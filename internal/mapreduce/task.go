@@ -240,6 +240,7 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 
 	failed := false
 	var out *Collector
+	var rp *residentPart
 	var err error
 	switch {
 	case jt.cfg.FailureInjector != nil && jt.cfg.FailureInjector(j, t):
@@ -247,6 +248,20 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 		// result stays reusable via the cache for the retry).
 		failed = true
 		err = fmt.Errorf("injected failure")
+	case j.resident:
+		// Memory engine mode: a resident part from a prior job of the
+		// session replaces both the scan join and the mapper run — the
+		// delta-shuffle hit. A miss takes the baseline path and admits
+		// the freshly partitioned output below.
+		rp = jt.cfg.ResidentStore.acquire(t.Split.Block.Source, j.Spec.MemoKey, j.numReduces)
+		if rp == nil {
+			if scan != nil {
+				out, err = jt.joinScan(scan)
+			} else {
+				out, err = jt.execMapper(t)
+			}
+			failed = err != nil
+		}
 	case scan != nil:
 		// Event-order join of the scan submitted at attempt start.
 		out, err = jt.joinScan(scan)
@@ -290,52 +305,92 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 		jt.killAttempt(t.running[0])
 	}
 
-	// Partition output by key and stash for the shuffle, tagged with
-	// the producing node. byPart is indexed by partition (a map here
-	// was allocation-heavy — see BenchmarkMapCompletion); chunks are
-	// counted first so each backing array is allocated exactly once.
-	pairs := out.Pairs()
-	byPart := make([]mapChunk, j.numReduces)
-	if j.numReduces == 1 {
-		c := &byPart[0]
-		c.node = tt.node.ID
-		c.pairs = append(make([]KeyValue, 0, len(pairs)), pairs...)
-		c.bytes = out.Bytes()
-	} else {
-		counts := make([]int, j.numReduces)
-		for _, kv := range pairs {
-			counts[partition(kv.Key, j.numReduces)]++
-		}
-		for p, n := range counts {
-			if n > 0 {
-				byPart[p] = mapChunk{node: tt.node.ID, pairs: make([]KeyValue, 0, n)}
+	if rp != nil {
+		// Delta-shuffle hit: the split's output is already partitioned
+		// (and each partition stably sorted) in the resident store;
+		// reference the shared runs directly instead of re-partitioning.
+		// Only the node tag is per-job — chunk content and byte counts
+		// are identical to what the baseline build would produce, so
+		// shuffle accounting and reduce input are unchanged.
+		for p := range rp.chunks {
+			if len(rp.chunks[p].pairs) > 0 {
+				j.mapOutput[p] = append(j.mapOutput[p], mapChunk{
+					node: tt.node.ID, pairs: rp.chunks[p].pairs, bytes: rp.chunks[p].bytes})
 			}
 		}
-		for _, kv := range pairs {
-			c := &byPart[partition(kv.Key, j.numReduces)]
-			c.pairs = append(c.pairs, kv)
-			c.bytes += int64(len(kv.Key) + kv.Value.EncodedSize())
+		j.held = append(j.held, rp)
+		j.Counters.MapOutputRecords += rp.records
+		j.Counters.MapOutputBytes += rp.bytes
+		j.Counters.mergeUser(rp.user)
+		jt.tracer.Inc(trace.CounterDeltaShuffleHits, 1)
+	} else {
+		// Partition output by key and stash for the shuffle, tagged with
+		// the producing node. byPart is indexed by partition (a map here
+		// was allocation-heavy — see BenchmarkMapCompletion); chunks are
+		// counted first so each backing array is allocated exactly once.
+		pairs := out.Pairs()
+		byPart := make([]mapChunk, j.numReduces)
+		if j.numReduces == 1 {
+			c := &byPart[0]
+			c.node = tt.node.ID
+			c.pairs = append(make([]KeyValue, 0, len(pairs)), pairs...)
+			c.bytes = out.Bytes()
+		} else {
+			counts := make([]int, j.numReduces)
+			for _, kv := range pairs {
+				counts[partition(kv.Key, j.numReduces)]++
+			}
+			for p, n := range counts {
+				if n > 0 {
+					byPart[p] = mapChunk{node: tt.node.ID, pairs: make([]KeyValue, 0, n)}
+				}
+			}
+			for _, kv := range pairs {
+				c := &byPart[partition(kv.Key, j.numReduces)]
+				c.pairs = append(c.pairs, kv)
+				c.bytes += int64(len(kv.Key) + kv.Value.EncodedSize())
+			}
 		}
-	}
-	for p := range byPart {
-		if len(byPart[p].pairs) > 0 {
-			j.mapOutput[p] = append(j.mapOutput[p], byPart[p])
+		if j.resident {
+			// Sort each partition's run in place and admit the part; the
+			// job's own chunks reference the same arrays, so the store
+			// and the shuffle share one copy. If a concurrent runtime
+			// admitted this split first, its (identical) part wins and
+			// this job still uses the local arrays.
+			store := jt.cfg.ResidentStore
+			part := newResidentPart(
+				residentKey{t.Split.Block.Source, j.Spec.MemoKey, j.numReduces},
+				t.Split.Block, byPart, out)
+			part, evicted := store.admit(part)
+			j.held = append(j.held, part)
+			if tr := jt.tracer; tr.Enabled() {
+				tr.Inc(trace.CounterResidentStores, 1)
+				tr.Inc(trace.CounterResidentEvicted, int64(evicted))
+				st := store.Stats()
+				tr.SetGauge(trace.GaugeResidentBytes, float64(st.ResidentBytes))
+				tr.SetGauge(trace.GaugePinnedBytes, float64(st.PinnedBytes))
+			}
+		}
+		for p := range byPart {
+			if len(byPart[p].pairs) > 0 {
+				j.mapOutput[p] = append(j.mapOutput[p], byPart[p])
+			}
+		}
+		j.Counters.MapOutputRecords += int64(out.Len())
+		j.Counters.MapOutputBytes += out.Bytes()
+		j.Counters.mergeUser(out.UserCounters())
+		// The collector's pairs were copied into the chunks above;
+		// recycle its backing array unless it is shared — an async-scan
+		// result may be held by the cache or a singleflight future, and
+		// the inline path memoises when a cache is configured.
+		if scan == nil && (jt.cfg.MapOutputCache == nil || j.Spec.MemoKey == "") {
+			recycleCollector(out)
 		}
 	}
 
 	j.Counters.MapInputRecords += t.Split.NumRecords()
-	j.Counters.MapOutputRecords += int64(out.Len())
-	j.Counters.MapOutputBytes += out.Bytes()
 	j.Counters.BytesRead += t.Split.SizeBytes()
 	j.Counters.CompletedMaps++
-	j.Counters.mergeUser(out.UserCounters())
-	// The collector's pairs were copied into the chunks above; recycle
-	// its backing array unless it is shared — an async-scan result may
-	// be held by the cache or a singleflight future, and the inline
-	// path memoises when a cache is configured.
-	if scan == nil && (jt.cfg.MapOutputCache == nil || j.Spec.MemoKey == "") {
-		recycleCollector(out)
-	}
 	j.mapDurations = append(j.mapDurations, jt.eng.Now()-att.startTime)
 	if att.local {
 		j.Counters.LocalMaps++
@@ -374,8 +429,10 @@ func (jt *JobTracker) execMapper(t *MapTask) (*Collector, error) {
 	if cache, key := jt.cfg.MapOutputCache, t.Job.Spec.MemoKey; cache != nil && key != "" {
 		src := t.Split.Block.Source
 		if out, ok := cache.lookup(src, key); ok {
+			jt.tracer.Inc(trace.CounterMemoHits, 1)
 			return out, nil
 		}
+		jt.tracer.Inc(trace.CounterMemoMisses, 1)
 		out, err := jt.runMapper(t)
 		if err == nil {
 			cache.store(src, key, out)
@@ -587,8 +644,38 @@ func (jt *JobTracker) execReducer(t *ReduceTask, chunks []mapChunk) (*Collector,
 	if reducer == nil {
 		reducer = IdentityReducer
 	}
-	pairs := sortPairs(chunks)
 	out := newCollector()
+	if j.resident {
+		// Memory engine mode: every chunk is a stably-sorted resident
+		// run, so a tie-breaking merge replaces the O(n log n) stable
+		// sort, and one exactly-sized values buffer replaces the
+		// per-group append chains. The values slice handed to Reduce is
+		// valid only for the duration of the call (Hadoop's iterator
+		// contract) and capacity-capped so an appending reducer
+		// reallocates instead of scribbling on the buffer.
+		var total int64
+		for _, c := range chunks {
+			total += int64(len(c.pairs))
+		}
+		pairs := mergeSortedChunks(chunks, total)
+		valsBuf := make([]data.Record, len(pairs))
+		for i := range pairs {
+			valsBuf[i] = pairs[i].Value
+		}
+		for i := 0; i < len(pairs); {
+			k := pairs[i].Key
+			end := i + 1
+			for end < len(pairs) && pairs[end].Key == k {
+				end++
+			}
+			if err := reducer.Reduce(k, valsBuf[i:end:end], out); err != nil {
+				return nil, err
+			}
+			i = end
+		}
+		return out, nil
+	}
+	pairs := sortPairs(chunks)
 	for i := 0; i < len(pairs); {
 		k := pairs[i].Key
 		var vals []data.Record

@@ -25,6 +25,21 @@ const (
 	// simulated time).
 	CounterScanAsync  = "map.scan_async"
 	CounterScanStalls = "map.scan_stalls"
+	// Session-engine residency metrics (internal/mapreduce.ResidentStore
+	// and the MapOutputCache). memo_hits/memo_misses surface the memo
+	// cache's Stats() per runtime: one increment per lookup, from either
+	// the scan-executor submit path or the inline execMapper path.
+	// delta_shuffle_hits counts map completions served from an already
+	// partitioned resident part (memory engine mode), resident_stores
+	// counts parts admitted, resident_evictions counts parts dropped by
+	// the bounded-memory policy, and residency_hints counts split batches
+	// the Input Provider round loop marked session-hot.
+	CounterMemoHits         = "engine.memo_hits"
+	CounterMemoMisses       = "engine.memo_misses"
+	CounterDeltaShuffleHits = "engine.delta_shuffle_hits"
+	CounterResidentStores   = "engine.resident_stores"
+	CounterResidentEvicted  = "engine.resident_evictions"
+	CounterResidencyHints   = "engine.residency_hints"
 
 	HistMapDuration    = "map.duration_s"
 	HistMapQueueWait   = "map.queue_wait_s"
@@ -40,6 +55,10 @@ const (
 	GaugeRunningJobs     = "cluster.running_jobs"
 	GaugeVirtualTime     = "sim.virtual_time_s"
 	GaugeProcessedEvents = "sim.processed_events"
+	// Residency levels: encoded bytes of resident shuffle partitions in
+	// the store, and modeled bytes of the DFS blocks it has pinned.
+	GaugeResidentBytes = "engine.resident_bytes"
+	GaugePinnedBytes   = "engine.pinned_bytes"
 )
 
 // HistogramSnapshot summarises one histogram's observations.
