@@ -1,0 +1,60 @@
+package dynamicmr
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dynamicmr/internal/qstats"
+	"dynamicmr/internal/runarchive"
+)
+
+// BuildArchive snapshots the run into a cross-run archive (schema
+// dynamicmr.archive/1): every trace span, the policy decision audit
+// log, the utilization timeline, counters/gauges, the invariant-checked
+// per-job diagnosis, the per-query registry dump when WithQueryStats
+// was on, and the run configuration. Fields of cfg the cluster knows
+// better than the caller — engine mode, scan workers, git revision —
+// are filled in when left zero. It requires WithTracing (or an option
+// that forces it).
+//
+// Two archives from twin runs feed Compare / `dynmr diff` to attribute
+// a regression or a win component by component.
+func (c *Cluster) BuildArchive(label string, cfg runarchive.RunConfig) (*runarchive.Archive, error) {
+	tr := c.jt.Tracer()
+	if !tr.Enabled() {
+		return nil, fmt.Errorf("dynamicmr: BuildArchive requires WithTracing")
+	}
+	if cfg.EngineMode == "" {
+		cfg.EngineMode = c.EngineMode()
+	}
+	if cfg.ScanWorkers == 0 {
+		cfg.ScanWorkers = c.scanPool.Workers()
+	}
+	if cfg.GitRev == "" {
+		cfg.GitRev = runarchive.GitRev()
+	}
+	var queries *qstats.Dump
+	if c.qstats.Enabled() {
+		d := c.qstats.Dump()
+		queries = &d
+	}
+	return runarchive.New(runarchive.Source{
+		Label:         label,
+		Tracer:        tr,
+		Queries:       queries,
+		VirtualTimeS:  c.eng.Now(),
+		CreatedUnixMS: time.Now().UnixMilli(),
+		Config:        cfg,
+	})
+}
+
+// WriteArchive builds the run archive and writes it to w as gzip
+// NDJSON; see BuildArchive.
+func (c *Cluster) WriteArchive(w io.Writer, label string, cfg runarchive.RunConfig) error {
+	a, err := c.BuildArchive(label, cfg)
+	if err != nil {
+		return err
+	}
+	return a.Write(w)
+}

@@ -1,0 +1,172 @@
+package dynamicmr
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"dynamicmr/internal/runarchive"
+	"dynamicmr/internal/trace"
+)
+
+// archiveTwinRun executes the canned three-query session under one
+// engine mode and returns its archive after a bytes round-trip, so the
+// comparison below exercises the wire format, not just the in-memory
+// structs.
+func archiveTwinRun(t *testing.T, mode string) *runarchive.Archive {
+	t.Helper()
+	c, err := NewCluster(WithTracing(trace.Config{}), WithQueryStats(), WithEngineMode(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadLineItem("lineitem", DatasetSpec{
+		Scale: 2, Skew: 1, Selectivity: 0.005, Rows: 400_000, Seed: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		if _, err := c.Query("SELECT L_ORDERKEY FROM lineitem WHERE L_QUANTITY > 50 LIMIT 200"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := c.BuildArchive(mode+" twin", runarchive.RunConfig{Policy: "LA", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := runarchive.Load(&buf)
+	if err != nil {
+		t.Fatalf("%s archive does not round-trip: %v", mode, err)
+	}
+	return loaded
+}
+
+// TestArchiveOverhead guards the archiving cost: snapshotting and
+// writing the bundle on top of a traced quickstart run must stay under
+// 5% of the traced run's wall clock (same min-of-N discipline and
+// absolute allowance as the tracing, sampler and diagnosis overhead
+// checks).
+func TestArchiveOverhead(t *testing.T) {
+	const runs = 5
+	run := func(archive bool) (time.Duration, float64) {
+		c, err := NewCluster(WithTracing(trace.Config{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.LoadLineItem("lineitem", DatasetSpec{
+			Scale: 2, Skew: 1, Selectivity: 0.005, Rows: 400_000, Seed: 42,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := c.Query("SELECT L_ORDERKEY FROM lineitem WHERE L_QUANTITY > 50 LIMIT 200")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 200 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+		if archive {
+			a, err := c.BuildArchive("overhead", runarchive.RunConfig{Policy: "LA", Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Write(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start), c.Now()
+	}
+	minWall := func(archive bool) (time.Duration, float64) {
+		best, virtual := time.Duration(1<<62), 0.0
+		for i := 0; i < runs; i++ {
+			w, v := run(archive)
+			if w < best {
+				best = w
+			}
+			virtual = v
+		}
+		return best, virtual
+	}
+	run(false) // warm-up
+	base, baseV := minWall(false)
+	on, onV := minWall(true)
+
+	if math.Abs(baseV-onV) > 0.01*baseV {
+		t.Fatalf("archiving changed the virtual timeline: base=%vs on=%vs", baseV, onV)
+	}
+	budget := base + base/20 + 25*time.Millisecond
+	if on > budget {
+		t.Fatalf("archived run took %v, traced run %v: archiving overhead exceeds 5%%", on, base)
+	}
+	t.Logf("traced quickstart min-of-%d: %v; with BuildArchive+Write: %v", runs, base, on)
+}
+
+// TestDiffBaselineVsMemoryTwinRuns is the acceptance pin for `dynmr
+// diff`: a baseline and a memory-engine run of the same session are
+// virtual-time twins, so the diff must align every query, report
+// per-component deltas summing to the makespan delta (here all zero),
+// find no divergent provider decision — while the engine counters
+// still reveal which run used the resident store.
+func TestDiffBaselineVsMemoryTwinRuns(t *testing.T) {
+	a := archiveTwinRun(t, EngineModeBaseline)
+	b := archiveTwinRun(t, EngineModeMemory)
+
+	if a.Manifest.Config.EngineMode != EngineModeBaseline || b.Manifest.Config.EngineMode != EngineModeMemory {
+		t.Fatalf("engine modes not recorded: %q / %q",
+			a.Manifest.Config.EngineMode, b.Manifest.Config.EngineMode)
+	}
+
+	rep, err := runarchive.Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Fatalf("diff invariants: %v", err)
+	}
+	if len(rep.Jobs) != 3 || len(rep.OnlyA) != 0 || len(rep.OnlyB) != 0 {
+		t.Fatalf("want 3 aligned queries, got %d (+%v/-%v)", len(rep.Jobs), rep.OnlyA, rep.OnlyB)
+	}
+	for _, j := range rep.Jobs {
+		// qstats attaches on both sides, so alignment is query-keyed.
+		if j.Key == "" || j.Key[0] != 'q' {
+			t.Errorf("job %d/%d aligned by %q, want a query ID", j.AJob, j.BJob, j.Key)
+		}
+		// The delta-sum invariant, re-checked against the raw values.
+		sum := 0.0
+		for _, comp := range j.Components {
+			sum += comp.DeltaS
+		}
+		if math.Abs(sum-j.MakespanDeltaS) > 1e-6*math.Max(1, j.AMakespanS) {
+			t.Errorf("query %s: component deltas sum to %g, makespan delta %g", j.Key, sum, j.MakespanDeltaS)
+		}
+		// Engine modes are virtual-time byte-identical: every delta zero.
+		if j.MakespanDeltaS != 0 {
+			t.Errorf("query %s: makespan delta %g between twin engine modes", j.Key, j.MakespanDeltaS)
+		}
+		if j.FirstDivergence != nil {
+			t.Errorf("query %s: unexpected provider divergence %+v", j.Key, j.FirstDivergence)
+		}
+		if j.Path.FirstKindDifference != -1 {
+			t.Errorf("query %s: critical paths differ at %d", j.Key, j.Path.FirstKindDifference)
+		}
+	}
+	if rep.TotalMakespanDeltaS != 0 {
+		t.Errorf("total makespan delta %g between twin engine modes", rep.TotalMakespanDeltaS)
+	}
+
+	// The runs are simulation twins but not execution twins: the memory
+	// side must show resident-store activity in the counter deltas.
+	deltas := map[string]int64{}
+	for _, cd := range rep.CounterDeltas {
+		deltas[cd.Name] = cd.Delta
+	}
+	if deltas[trace.CounterDeltaShuffleHits] <= 0 {
+		t.Errorf("memory run should add delta-shuffle hits; counter deltas: %v", deltas)
+	}
+}

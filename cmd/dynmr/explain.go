@@ -8,6 +8,7 @@ import (
 
 	"dynamicmr"
 	"dynamicmr/internal/diag"
+	"dynamicmr/internal/runarchive"
 	"dynamicmr/internal/trace"
 )
 
@@ -32,6 +33,7 @@ func explainMain(args []string) {
 	spec := fs.Bool("speculative", false, "enable speculative execution for straggling maps")
 	jsonOut := fs.Bool("json", false, "emit the diagnosis as JSON (schema "+diag.SchemaVersion+") instead of text")
 	out := fs.String("out", "", "write the diagnosis to FILE instead of stdout")
+	archiveOut := fs.String("archive-out", "", "also write a cross-run archive (dynamicmr.archive/1, for `dynmr diff`) to FILE")
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	engineMode := fs.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
@@ -72,6 +74,16 @@ func explainMain(args []string) {
 	if err := rep.CheckInvariants(); err != nil {
 		fatal(fmt.Errorf("diagnosis invariants violated: %w", err))
 	}
+	writeArchive(c, *archiveOut, fmt.Sprintf("dynmr explain — policy %s", *policy), runarchive.RunConfig{
+		Policy: *policy,
+		Seed:   42,
+		Params: map[string]string{
+			"scale":   fmt.Sprintf("%d", *scale),
+			"skew":    fmt.Sprintf("%g", *skewZ),
+			"k":       fmt.Sprintf("%d", *k),
+			"queries": fmt.Sprintf("%d", *queries),
+		},
+	})
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -12,6 +12,7 @@
 //	      [-qstats-out FILE] [-pprof] ...
 //	dynmr top [-addr HOST:PORT] [-follow] [-interval-ms MS]
 //	dynmr explain [-policy NAME] [-k N] [-queries N] [-json] [-out FILE] ...
+//	dynmr diff [-json | -html] [-out FILE] A.archive.gz B.archive.gz
 //
 // Without -e, statements are read from stdin (one per line, ';'
 // optional). With -trace-out, a Chrome trace-event JSON file covering
@@ -38,6 +39,15 @@
 // The explain subcommand runs sampling queries with tracing on and
 // prints the post-run job diagnosis: per-job critical path, time
 // breakdown and anomalies.
+//
+// With -archive-out (shell, serve and explain modes), a self-contained
+// cross-run archive (schema dynamicmr.archive/1: trace spans, policy
+// decisions, diagnoses, query stats, counters/gauges and run config,
+// as gzip NDJSON) is written at exit. The diff subcommand compares two
+// such archives: jobs are aligned by query ID, the nine-component time
+// breakdowns are differenced (the per-component deltas sum to the
+// makespan delta by construction), and the first divergent provider
+// decision between twin runs is located.
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 	"dynamicmr"
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/runarchive"
 	"dynamicmr/internal/trace"
 	"dynamicmr/internal/vlog"
 )
@@ -66,6 +77,9 @@ func main() {
 		case "explain":
 			explainMain(os.Args[2:])
 			return
+		case "diff":
+			diffMain(os.Args[2:])
+			return
 		}
 	}
 	scale := flag.Int("scale", 1, "TPC-H scale factor of the generated LINEITEM table")
@@ -78,6 +92,7 @@ func main() {
 	eventLog := flag.Bool("trace", false, "print the task-level event log for each job")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) at exit")
 	reportOut := flag.String("report-out", "", "write a self-contained HTML run report at exit")
+	archiveOut := flag.String("archive-out", "", "write a cross-run archive (dynamicmr.archive/1 gzip NDJSON, for `dynmr diff`) at exit")
 	sampleInterval := flag.Float64("sample-interval", 0, "utilization sampler cadence in virtual seconds for -report-out (0 = 30s default)")
 	logOut := flag.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
@@ -85,7 +100,7 @@ func main() {
 	flag.Parse()
 
 	opts := clusterOpts(*multi, *fair, *engineMode)
-	if *traceOut != "" || *reportOut != "" {
+	if *traceOut != "" || *reportOut != "" || *archiveOut != "" {
 		opts = append(opts, dynamicmr.WithTracing(trace.Config{}))
 	}
 	if *reportOut != "" {
@@ -126,10 +141,19 @@ func main() {
 		printResult(c, res, *maxRows)
 	}
 
+	shellConfig := runarchive.RunConfig{
+		Seed: 42,
+		Params: map[string]string{
+			"scale": fmt.Sprintf("%d", *scale),
+			"skew":  fmt.Sprintf("%g", *skewZ),
+			"rows":  fmt.Sprintf("%d", *rows),
+		},
+	}
 	if *exec != "" {
 		runOne(*exec)
 		writeTrace(c, *traceOut)
 		writeReport(c, *reportOut, "dynmr session", reportParams(*scale, *skewZ, *rows))
+		writeArchive(c, *archiveOut, "dynmr session", shellConfig)
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -141,6 +165,7 @@ func main() {
 	}
 	writeTrace(c, *traceOut)
 	writeReport(c, *reportOut, "dynmr session", reportParams(*scale, *skewZ, *rows))
+	writeArchive(c, *archiveOut, "dynmr session", shellConfig)
 }
 
 // writeTrace exports the session's Chrome trace when -trace-out is set.

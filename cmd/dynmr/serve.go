@@ -13,6 +13,7 @@ import (
 
 	"dynamicmr"
 	"dynamicmr/internal/obs"
+	"dynamicmr/internal/runarchive"
 )
 
 // serveMain runs `dynmr serve`: a paced closed loop of sampling queries
@@ -26,8 +27,9 @@ import (
 // or a long engine burst.
 //
 // SIGINT/SIGTERM shut the loop down gracefully: the current query
-// finishes, the -report-out / -log-out / -qstats-out artifacts are
-// flushed, the HTTP server drains, and the process exits 0.
+// finishes, the -report-out / -log-out / -qstats-out / -archive-out
+// artifacts are flushed, the HTTP server drains, and the process
+// exits 0.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("dynmr serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address for /metrics, /status, /queries and /live")
@@ -43,6 +45,7 @@ func serveMain(args []string) {
 	sampleInterval := fs.Float64("sample-interval", 5, "utilization sampler cadence in virtual seconds (single queries are short, so the default is denser than the workload figures' 30s)")
 	reportOut := fs.String("report-out", "", "write the HTML run report to FILE on shutdown")
 	qstatsOut := fs.String("qstats-out", "", "write the per-query stats dump (dynamicmr.qstats/1 JSON) to FILE on shutdown")
+	archiveOut := fs.String("archive-out", "", "write a cross-run archive (dynamicmr.archive/1, for `dynmr diff`) to FILE on shutdown")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
@@ -131,6 +134,16 @@ loop:
 			{"queries", fmt.Sprintf("%d", *queries)},
 		})
 	writeQStats(c, *qstatsOut)
+	writeArchive(c, *archiveOut, fmt.Sprintf("dynmr serve — policy %s", *policy), runarchive.RunConfig{
+		Policy: *policy,
+		Seed:   42,
+		Params: map[string]string{
+			"scale":   fmt.Sprintf("%d", *scale),
+			"skew":    fmt.Sprintf("%g", *skewZ),
+			"k":       fmt.Sprintf("%d", *k),
+			"queries": fmt.Sprintf("%d", *queries),
+		},
+	})
 	srv.Unlock()
 	// Release session state: resident map outputs, pinned blocks and
 	// scan workers all go with the cluster.

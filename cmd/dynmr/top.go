@@ -68,8 +68,14 @@ func renderTop(client *http.Client, addr string) (string, error) {
 	fmt.Fprintf(&b, "slots: map %d/%d, reduce %d/%d; queued %d maps %d reduces; %d running job(s)\n",
 		status.MapSlotsUsed, status.MapSlots, status.ReduceSlotsUsed, status.ReduceSlots,
 		status.QueuedMaps, status.QueuedReduces, status.RunningJobs)
-	fmt.Fprintf(&b, "queries: %d started, %d finished, %d failed, %d in flight\n\n",
+	fmt.Fprintf(&b, "queries: %d started, %d finished, %d failed, %d in flight\n",
 		dump.Started, dump.Finished, dump.Failed, len(dump.InFlight))
+	if e := status.Engine; e != nil {
+		fmt.Fprintf(&b, "engine: %.1f MB resident, %.1f MB pinned; %d delta-shuffle hit(s), %d stored, %d evicted, %d memo hit(s)\n",
+			e.ResidentBytes/(1<<20), e.PinnedBytes/(1<<20),
+			e.DeltaShuffleHits, e.ResidentStores, e.ResidentEvictions, e.MemoHits)
+	}
+	b.WriteString("\n")
 
 	if len(dump.Policies) > 0 {
 		fmt.Fprintf(&b, "%-8s %9s %7s %7s %9s %9s %9s %9s\n",

@@ -9,7 +9,8 @@
 //	            [-mode quick|paper] [-j N] [-scan-workers N] [-engine-mode baseline|memory]
 //	            [-policies LIST] [-csv]
 //	            [-trace-out DIR] [-report-out DIR] [-sample-interval S]
-//	            [-diag-out DIR] [-log-out FILE] [-log-level LEVEL]
+//	            [-diag-out DIR] [-archive-out DIR]
+//	            [-log-out FILE] [-log-level LEVEL]
 //	            [-bench-json FILE]
 //
 // -j runs up to N sweep cells concurrently (default runtime.NumCPU).
@@ -56,6 +57,14 @@
 // missing). The diagnosis invariants — critical path tiles the
 // makespan, breakdown components sum to it — are enforced per cell.
 //
+// With -archive-out, every figure cell (5-8) additionally runs with
+// tracing enabled and writes one cross-run archive into DIR (created
+// if missing): <cell>.archive.gz, schema dynamicmr.archive/1, holding
+// the cell's trace spans, Input Provider decisions, per-job diagnoses,
+// counters/gauges and run config. Archives from two sweeps feed
+// `dynmr diff` for regression attribution. Cell archives are
+// unstamped, so their bytes are deterministic across reruns.
+//
 // With -log-out, the sweeps' structured log stream (job lifecycle,
 // Input Provider decisions, query execution) is written to FILE as
 // NDJSON, each record stamped with the originating cell's virtual
@@ -94,6 +103,7 @@ func main() {
 	policies := flag.String("policies", "", "comma-separated subset of Table I policies to sweep (default: all)")
 	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
 	diagOut := flag.String("diag-out", "", "directory for per-cell job-diagnosis CSVs (figures 5-8; enables tracing and enforces the diagnosis invariants)")
+	archiveOut := flag.String("archive-out", "", "directory for per-cell cross-run archives (figures 5-8; *.archive.gz, compare with `dynmr diff`)")
 	logOut := flag.String("log-out", "", "write the sweeps' virtual-clock NDJSON log stream to FILE")
 	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	flag.Parse()
@@ -128,6 +138,13 @@ func main() {
 			os.Exit(1)
 		}
 		opt.DiagDir = *diagOut
+	}
+	if *archiveOut != "" {
+		if err := os.MkdirAll(*archiveOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opt.ArchiveDir = *archiveOut
 	}
 	if *logOut != "" {
 		level, err := vlog.ParseLevel(*logLevel)

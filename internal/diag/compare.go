@@ -1,0 +1,383 @@
+package diag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynamicmr/internal/trace"
+)
+
+// DiffSchemaVersion identifies the JSON layout emitted by
+// DiffReport.WriteJSON (dynmr diff -json); see DESIGN.md.
+const DiffSchemaVersion = "dynamicmr.diff/1"
+
+// RunSide is one side of a cross-run comparison: a run's diagnosis
+// report plus the raw decision log and an optional job → query-ID
+// alignment map. It is a plain value type so the archive layer (which
+// sits above diag in the import graph) can adapt its bundles into it;
+// see runarchive.Compare.
+type RunSide struct {
+	// Label names the side in rendered output ("baseline", the archive
+	// label, ...).
+	Label string
+	// Report is the side's per-job diagnosis. Required; every job must
+	// satisfy CheckInvariants (breakdown sums to makespan), which is
+	// what makes the per-component deltas sum to the makespan delta by
+	// construction.
+	Report *Report
+	// Decisions is the side's full Input Provider audit log, in record
+	// order; Compare slices it per job to locate the first divergent
+	// GROW/WAIT decision between twin runs.
+	Decisions []trace.PolicyDecision
+	// QueryByJob maps job IDs to stable query IDs (qstats "q-000001"
+	// keys). When both sides carry an entry for a job, alignment uses
+	// the query ID; jobs without one align by job ID.
+	QueryByJob map[int]string
+}
+
+// key returns the alignment key for a job on this side.
+func (s RunSide) key(jobID int) string {
+	if id, ok := s.QueryByJob[jobID]; ok && id != "" {
+		return id
+	}
+	return fmt.Sprintf("job-%d", jobID)
+}
+
+// ComponentDelta is one breakdown category's A/B values and their
+// difference (B − A: positive means B spent longer).
+type ComponentDelta struct {
+	Name   string  `json:"name"`
+	AS     float64 `json:"a_s"`
+	BS     float64 `json:"b_s"`
+	DeltaS float64 `json:"delta_s"`
+}
+
+// DecisionPoint summarises one provider decision for divergence
+// reporting.
+type DecisionPoint struct {
+	// Index is the decision's position in the job's per-side sequence.
+	Index   int     `json:"index"`
+	TimeS   float64 `json:"time_s"`
+	Policy  string  `json:"policy"`
+	Verdict string  `json:"verdict"`
+	Added   int     `json:"added"`
+	// GrabLimit is the policy's partition cap at this step.
+	GrabLimit int `json:"grab_limit"`
+}
+
+// Divergence is the first point where two jobs' provider decision
+// sequences stop being twins. Sequences are compared position by
+// position on (verdict, added, grab limit) — timestamps are reported
+// but do not define divergence, so clock-shifted twins still align.
+type Divergence struct {
+	// Index is the first differing position.
+	Index int `json:"index"`
+	// A / B are the decisions at that position; nil when that side's
+	// sequence ended first.
+	A *DecisionPoint `json:"a,omitempty"`
+	B *DecisionPoint `json:"b,omitempty"`
+	// Reason is "verdict", "added", "grab-limit", "a-ended" or
+	// "b-ended".
+	Reason string `json:"reason"`
+}
+
+// PathDiff summarises how two critical paths differ structurally.
+type PathDiff struct {
+	ANodes int `json:"a_nodes"`
+	BNodes int `json:"b_nodes"`
+	// FirstKindDifference is the first path position whose node kind
+	// differs (comparing the kind sequences only; durations are covered
+	// by the breakdown deltas), or -1 when the sequences are identical.
+	// When one path is a strict prefix of the other it is the shorter
+	// length.
+	FirstKindDifference int `json:"first_kind_difference"`
+}
+
+// JobDelta is the comparison of one aligned job pair.
+type JobDelta struct {
+	// Key is the alignment key (query ID or "job-N").
+	Key  string `json:"key"`
+	AJob int    `json:"a_job"`
+	BJob int    `json:"b_job"`
+
+	AMakespanS float64 `json:"a_makespan_s"`
+	BMakespanS float64 `json:"b_makespan_s"`
+	// MakespanDeltaS is B − A; it equals the sum of the component
+	// deltas by construction (each side's breakdown sums to its
+	// makespan), re-checked by Compare.
+	MakespanDeltaS float64 `json:"makespan_delta_s"`
+	// Components lists all nine breakdown categories in canonical
+	// order, including zero-delta ones, so the sum property is visible
+	// in the output.
+	Components []ComponentDelta `json:"components"`
+
+	// FirstDivergence is nil when the provider decision sequences are
+	// twins.
+	FirstDivergence *Divergence `json:"first_divergence,omitempty"`
+	Path            PathDiff    `json:"path"`
+
+	// AnomaliesOnlyA / AnomaliesOnlyB are anomaly signatures present on
+	// one side only (sorted).
+	AnomaliesOnlyA []string `json:"anomalies_only_a,omitempty"`
+	AnomaliesOnlyB []string `json:"anomalies_only_b,omitempty"`
+
+	// A and B carry the full per-side diagnoses for rendering (paired
+	// breakdown stacks, aligned Gantts).
+	A *JobDiagnosis `json:"a"`
+	B *JobDiagnosis `json:"b"`
+}
+
+// CounterDelta is one trace counter's A/B values (only counters whose
+// values differ are reported).
+type CounterDelta struct {
+	Name  string `json:"name"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Delta int64  `json:"delta"`
+}
+
+// DiffReport is the full cross-run comparison (schema
+// DiffSchemaVersion).
+type DiffReport struct {
+	Schema string `json:"schema"`
+	ALabel string `json:"a_label"`
+	BLabel string `json:"b_label"`
+	// Jobs holds the aligned pairs in A-side job order.
+	Jobs []JobDelta `json:"jobs"`
+	// OnlyA / OnlyB list alignment keys present on one side only.
+	OnlyA []string `json:"only_a,omitempty"`
+	OnlyB []string `json:"only_b,omitempty"`
+	// TotalMakespanDeltaS sums the aligned jobs' makespan deltas.
+	TotalMakespanDeltaS float64 `json:"total_makespan_delta_s"`
+	// CounterDeltas lists trace counters whose values differ, sorted by
+	// name.
+	CounterDeltas []CounterDelta `json:"counter_deltas,omitempty"`
+}
+
+// Compare diffs run B against run A: jobs are aligned by query ID when
+// both sides carry one (falling back to job ID), each aligned pair's
+// nine-component breakdown is differenced (the deltas sum to the
+// makespan delta by construction — both sides' single-run invariants
+// are re-verified, and the sum property itself is checked), the first
+// divergent provider decision is located, and critical-path and
+// anomaly differences are summarised.
+func Compare(a, b RunSide) (*DiffReport, error) {
+	if a.Report == nil || b.Report == nil {
+		return nil, fmt.Errorf("diag: Compare needs a diagnosis report on both sides")
+	}
+	if err := a.Report.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("diag: side A (%s): %w", a.Label, err)
+	}
+	if err := b.Report.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("diag: side B (%s): %w", b.Label, err)
+	}
+	rep := &DiffReport{Schema: DiffSchemaVersion, ALabel: a.Label, BLabel: b.Label}
+
+	bByKey := make(map[string]*JobDiagnosis, len(b.Report.Jobs))
+	for i := range b.Report.Jobs {
+		j := &b.Report.Jobs[i]
+		k := b.key(j.JobID)
+		if _, dup := bByKey[k]; dup {
+			return nil, fmt.Errorf("diag: side B (%s): duplicate alignment key %q", b.Label, k)
+		}
+		bByKey[k] = j
+	}
+	matchedB := make(map[string]bool, len(bByKey))
+	for i := range a.Report.Jobs {
+		aj := &a.Report.Jobs[i]
+		k := a.key(aj.JobID)
+		bj, ok := bByKey[k]
+		if !ok {
+			rep.OnlyA = append(rep.OnlyA, k)
+			continue
+		}
+		if matchedB[k] {
+			return nil, fmt.Errorf("diag: side A (%s): duplicate alignment key %q", a.Label, k)
+		}
+		matchedB[k] = true
+		jd, err := compareJob(k, aj, bj, a, b)
+		if err != nil {
+			return nil, err
+		}
+		rep.Jobs = append(rep.Jobs, jd)
+		rep.TotalMakespanDeltaS += jd.MakespanDeltaS
+	}
+	for i := range b.Report.Jobs {
+		k := b.key(b.Report.Jobs[i].JobID)
+		if !matchedB[k] {
+			rep.OnlyB = append(rep.OnlyB, k)
+		}
+	}
+	sort.Strings(rep.OnlyA)
+	sort.Strings(rep.OnlyB)
+	rep.CounterDeltas = counterDeltas(a.Report.Counters, b.Report.Counters)
+	return rep, nil
+}
+
+// compareJob builds the delta record for one aligned pair and verifies
+// the delta-sum invariant.
+func compareJob(key string, aj, bj *JobDiagnosis, a, b RunSide) (JobDelta, error) {
+	jd := JobDelta{
+		Key: key, AJob: aj.JobID, BJob: bj.JobID,
+		AMakespanS: aj.MakespanS, BMakespanS: bj.MakespanS,
+		MakespanDeltaS: bj.MakespanS - aj.MakespanS,
+		A:              aj, B: bj,
+	}
+	ac, bc := aj.Breakdown.Components(), bj.Breakdown.Components()
+	sum := 0.0
+	for i := range ac {
+		d := ComponentDelta{Name: ac[i].Name, AS: ac[i].Seconds, BS: bc[i].Seconds,
+			DeltaS: bc[i].Seconds - ac[i].Seconds}
+		sum += d.DeltaS
+		jd.Components = append(jd.Components, d)
+	}
+	// Both sides pass CheckInvariants, so this can only fire on a
+	// future breakdown/Components drift — it is the diff-layer
+	// restatement of the single-run sum invariant.
+	tol := 1e-6 * math.Max(1, math.Max(aj.MakespanS, bj.MakespanS))
+	if math.Abs(sum-jd.MakespanDeltaS) > tol {
+		return jd, fmt.Errorf("diag: job %q: component deltas sum to %g, makespan delta is %g",
+			key, sum, jd.MakespanDeltaS)
+	}
+	jd.FirstDivergence = firstDivergence(
+		jobDecisions(a.Decisions, aj.JobID), jobDecisions(b.Decisions, bj.JobID))
+	jd.Path = pathDiff(aj.CriticalPath, bj.CriticalPath)
+	jd.AnomaliesOnlyA, jd.AnomaliesOnlyB = anomalyDiff(aj.Anomalies, bj.Anomalies)
+	return jd, nil
+}
+
+// jobDecisions filters the audit log to one job, preserving order.
+func jobDecisions(all []trace.PolicyDecision, jobID int) []trace.PolicyDecision {
+	var out []trace.PolicyDecision
+	for _, d := range all {
+		if d.JobID == jobID {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func decisionPoint(i int, d trace.PolicyDecision) *DecisionPoint {
+	return &DecisionPoint{Index: i, TimeS: d.Time, Policy: d.Policy,
+		Verdict: d.Verdict, Added: d.Added, GrabLimit: d.GrabLimit}
+}
+
+// firstDivergence locates the first position where the two decision
+// sequences differ on (verdict, added, grab limit); nil when they are
+// twins.
+func firstDivergence(da, db []trace.PolicyDecision) *Divergence {
+	n := len(da)
+	if len(db) < n {
+		n = len(db)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case da[i].Verdict != db[i].Verdict:
+			return &Divergence{Index: i, A: decisionPoint(i, da[i]), B: decisionPoint(i, db[i]), Reason: "verdict"}
+		case da[i].Added != db[i].Added:
+			return &Divergence{Index: i, A: decisionPoint(i, da[i]), B: decisionPoint(i, db[i]), Reason: "added"}
+		case da[i].GrabLimit != db[i].GrabLimit:
+			return &Divergence{Index: i, A: decisionPoint(i, da[i]), B: decisionPoint(i, db[i]), Reason: "grab-limit"}
+		}
+	}
+	switch {
+	case len(da) > n:
+		return &Divergence{Index: n, A: decisionPoint(n, da[n]), Reason: "b-ended"}
+	case len(db) > n:
+		return &Divergence{Index: n, B: decisionPoint(n, db[n]), Reason: "a-ended"}
+	}
+	return nil
+}
+
+// pathDiff compares critical-path kind sequences.
+func pathDiff(pa, pb []PathNode) PathDiff {
+	d := PathDiff{ANodes: len(pa), BNodes: len(pb), FirstKindDifference: -1}
+	n := len(pa)
+	if len(pb) < n {
+		n = len(pb)
+	}
+	for i := 0; i < n; i++ {
+		if pa[i].Kind != pb[i].Kind {
+			d.FirstKindDifference = i
+			return d
+		}
+	}
+	if len(pa) != len(pb) {
+		d.FirstKindDifference = n
+	}
+	return d
+}
+
+// anomalySig is the identity used for anomaly set comparison: the kind
+// plus the task it hit (cluster/job-scoped anomalies carry task -1).
+func anomalySig(a Anomaly) string {
+	if a.Task >= 0 {
+		return fmt.Sprintf("%s(task %d)", a.Kind, a.Task)
+	}
+	return a.Kind
+}
+
+// anomalyDiff returns the anomaly signatures unique to each side.
+func anomalyDiff(aa, ab []Anomaly) (onlyA, onlyB []string) {
+	ca := make(map[string]int)
+	cb := make(map[string]int)
+	for _, x := range aa {
+		ca[anomalySig(x)]++
+	}
+	for _, x := range ab {
+		cb[anomalySig(x)]++
+	}
+	for sig, n := range ca {
+		for i := cb[sig]; i < n; i++ {
+			onlyA = append(onlyA, sig)
+		}
+	}
+	for sig, n := range cb {
+		for i := ca[sig]; i < n; i++ {
+			onlyB = append(onlyB, sig)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
+}
+
+// counterDeltas lists the counters whose values differ, sorted.
+func counterDeltas(ca, cb map[string]int64) []CounterDelta {
+	names := make(map[string]bool, len(ca)+len(cb))
+	for k := range ca {
+		names[k] = true
+	}
+	for k := range cb {
+		names[k] = true
+	}
+	var out []CounterDelta
+	for k := range names {
+		if ca[k] == cb[k] {
+			continue
+		}
+		out = append(out, CounterDelta{Name: k, A: ca[k], B: cb[k], Delta: cb[k] - ca[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CheckInvariants verifies the diff-level sum property for every
+// aligned pair: the component deltas sum to the makespan delta. dynmr
+// diff re-runs it before rendering so a violated invariant is a
+// non-zero exit, not a silently wrong table.
+func (r *DiffReport) CheckInvariants() error {
+	for _, j := range r.Jobs {
+		sum := 0.0
+		for _, c := range j.Components {
+			sum += c.DeltaS
+		}
+		tol := 1e-6 * math.Max(1, math.Max(j.AMakespanS, j.BMakespanS))
+		if math.Abs(sum-j.MakespanDeltaS) > tol {
+			return fmt.Errorf("job %q: component deltas sum to %g, makespan delta is %g",
+				j.Key, sum, j.MakespanDeltaS)
+		}
+	}
+	return nil
+}

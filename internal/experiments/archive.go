@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"dynamicmr/internal/diag"
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/runarchive"
+)
+
+// writeCellArchive snapshots one cell's trace into a cross-run archive
+// (<name>.archive.gz, schema dynamicmr.archive/1) in opt.ArchiveDir;
+// no-op when archiving is off. The manifest is left unstamped
+// (CreatedUnixMS 0) so a cell's archive bytes are deterministic across
+// reruns, matching the sweep's byte-identical output contract — two
+// archives of the same cell differ only where the runs truly differed.
+// rep is the cell's already-computed diag report when -diag-out also
+// ran; nil makes New run the analyzer itself.
+func writeCellArchive(opt Options, name string, jt *mapreduce.JobTracker, rep *diag.Report, cfg runarchive.RunConfig) error {
+	if opt.ArchiveDir == "" {
+		return nil
+	}
+	tr := jt.Tracer()
+	if !tr.Enabled() {
+		return fmt.Errorf("experiments: archive requested but cell %s ran untraced", name)
+	}
+	cfg.EngineMode = opt.EngineMode
+	if cfg.EngineMode == "" {
+		cfg.EngineMode = "baseline"
+	}
+	cfg.ScanWorkers = opt.ScanWorkers
+	cfg.Seed = opt.Seed
+	if cfg.GitRev == "" {
+		cfg.GitRev = runarchive.GitRev()
+	}
+	a, err := runarchive.New(runarchive.Source{
+		Label:        name,
+		Tracer:       tr,
+		Diagnosis:    rep,
+		VirtualTimeS: jt.Engine().Now(),
+		Config:       cfg,
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: archive (%s): %w", name, err)
+	}
+	return a.WriteFile(filepath.Join(opt.ArchiveDir, name+".archive.gz"))
+}

@@ -121,7 +121,7 @@ func TestWriteCellDiagRequiresTracing(t *testing.T) {
 	sh := opt.newSweepShared()
 	defer sh.close()
 	r := newRig(nil, false, sh, false) // traced=false
-	if err := writeCellDiag(opt, "untraced_cell", r.jt); err == nil {
+	if _, err := writeCellDiag(opt, "untraced_cell", r.jt); err == nil {
 		t.Fatal("writeCellDiag on an untraced rig must error")
 	}
 }

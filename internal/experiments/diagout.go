@@ -14,25 +14,26 @@ import (
 // off). The diagnosis invariants — critical path tiles the makespan,
 // breakdown components sum to it — are enforced here, so any figure
 // 5-8 cell that violates them fails its sweep loudly instead of
-// emitting a silently-wrong CSV.
-func writeCellDiag(opt Options, name string, jt *mapreduce.JobTracker) error {
+// emitting a silently-wrong CSV. The report is returned so
+// writeCellArchive can bundle it without re-running the analyzer.
+func writeCellDiag(opt Options, name string, jt *mapreduce.JobTracker) (*diag.Report, error) {
 	if opt.DiagDir == "" {
-		return nil
+		return nil, nil
 	}
 	rep := diag.FromTracer(jt.Tracer())
 	if rep == nil {
-		return fmt.Errorf("experiments: diag requested but cell %s ran untraced", name)
+		return nil, fmt.Errorf("experiments: diag requested but cell %s ran untraced", name)
 	}
 	if err := rep.CheckInvariants(); err != nil {
-		return fmt.Errorf("experiments: diag invariants (%s): %w", name, err)
+		return nil, fmt.Errorf("experiments: diag invariants (%s): %w", name, err)
 	}
 	f, err := os.Create(filepath.Join(opt.DiagDir, name+"_diag.csv"))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := rep.WriteJobsCSV(f); err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
-	return f.Close()
+	return rep, f.Close()
 }

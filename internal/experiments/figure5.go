@@ -6,6 +6,7 @@ import (
 	"dynamicmr/internal/core"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/obs"
+	"dynamicmr/internal/runarchive"
 	"dynamicmr/internal/sampling"
 	"dynamicmr/internal/tpch"
 )
@@ -143,7 +144,19 @@ func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 		cell.PartitionsProcessed += float64(job.CompletedMaps())
 		cell.SampleSize += float64(len(job.Output()))
 		if run == opt.Runs-1 {
-			if err := writeCellDiag(opt, fmt.Sprintf("figure5_z%g_%dx_%s", z, scale, pol.Name), r.jt); err != nil {
+			name := fmt.Sprintf("figure5_z%g_%dx_%s", z, scale, pol.Name)
+			rep, err := writeCellDiag(opt, name, r.jt)
+			if err != nil {
+				return Figure5Cell{}, err
+			}
+			if err := writeCellArchive(opt, name, r.jt, rep, runarchive.RunConfig{
+				Policy: pol.Name,
+				Params: map[string]string{
+					"figure": "5",
+					"z":      fmt.Sprintf("%g", z),
+					"scale":  fmt.Sprintf("%d", scale),
+				},
+			}); err != nil {
 				return Figure5Cell{}, err
 			}
 		}

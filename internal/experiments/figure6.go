@@ -6,6 +6,7 @@ import (
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/metrics"
 	"dynamicmr/internal/obs"
+	"dynamicmr/internal/runarchive"
 	"dynamicmr/internal/workload"
 )
 
@@ -110,7 +111,18 @@ func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure
 		}); err != nil {
 		return Figure6Cell{}, err
 	}
-	if err := writeCellDiag(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r.jt); err != nil {
+	rep, err := writeCellDiag(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r.jt)
+	if err != nil {
+		return Figure6Cell{}, err
+	}
+	if err := writeCellArchive(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r.jt, rep, runarchive.RunConfig{
+		Policy: policy,
+		Params: map[string]string{
+			"figure": "6",
+			"z":      fmt.Sprintf("%g", z),
+			"users":  fmt.Sprintf("%d", opt.Users),
+		},
+	}); err != nil {
 		return Figure6Cell{}, err
 	}
 	cs, _ := results.Class("Sampling")

@@ -7,6 +7,7 @@ import (
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/metrics"
 	"dynamicmr/internal/obs"
+	"dynamicmr/internal/runarchive"
 	"dynamicmr/internal/workload"
 )
 
@@ -155,7 +156,18 @@ func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskSchedul
 		}); err != nil {
 		return Figure7Cell{}, err
 	}
-	if err := writeCellDiag(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r.jt); err != nil {
+	rep, err := writeCellDiag(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r.jt)
+	if err != nil {
+		return Figure7Cell{}, err
+	}
+	if err := writeCellArchive(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r.jt, rep, runarchive.RunConfig{
+		Policy: policy,
+		Params: map[string]string{
+			"figure":   fig,
+			"fraction": fmt.Sprintf("%g", frac),
+			"users":    fmt.Sprintf("%d", opt.Users),
+		},
+	}); err != nil {
 		return Figure7Cell{}, err
 	}
 	samp, _ := results.Class("Sampling")

@@ -70,6 +70,14 @@ type Options struct {
 	// must exist. Diagnosis invariants (breakdown sums to makespan) are
 	// checked on every cell; a violation fails the sweep.
 	DiagDir string
+	// ArchiveDir, when set, enables tracing inside every cell's rig and
+	// writes one cross-run archive per cell (figure5_*.archive.gz, ...;
+	// schema dynamicmr.archive/1) capturing the cell's spans, policy
+	// decisions, diagnoses, counters/gauges and run config, for
+	// `dynmr diff` regression attribution between sweeps. The directory
+	// must exist. Archives are unstamped, so a cell's bytes are
+	// deterministic across reruns.
+	ArchiveDir string
 	// LogWriter, when non-nil, receives the virtual-clock NDJSON
 	// structured log stream (internal/vlog) from every cell's runtime
 	// at LogLevel. Cells run concurrently under Parallelism > 1;
@@ -184,8 +192,11 @@ func (o Options) workloadSpec(z float64, name string, seedOffset int64) dataset.
 func (o Options) reporting() bool { return o.ReportDir != "" }
 
 // traced reports whether cells run with tracing enabled — needed by
-// both the HTML reports and the per-cell diagnosis CSVs.
-func (o Options) traced() bool { return o.ReportDir != "" || o.DiagDir != "" }
+// the HTML reports, the per-cell diagnosis CSVs and the per-cell
+// cross-run archives.
+func (o Options) traced() bool {
+	return o.ReportDir != "" || o.DiagDir != "" || o.ArchiveDir != ""
+}
 
 // sampleInterval returns the report-sampler cadence, falling back to
 // the given per-figure default.

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynamicmr/internal/mapreduce"
+	"dynamicmr/internal/trace"
+)
+
+// TestStatusEngineSection pins the /status and /live session-engine
+// surfacing: absent on a baseline run (gauges never set), present with
+// the residency levels and reuse counters once the engine sets them.
+func TestStatusEngineSection(t *testing.T) {
+	eng, _, fs, jt := rig(t, true)
+	f := mkFile(t, fs, "in", 10, 200)
+	s := NewSampler(jt, Config{IntervalS: 1})
+	s.Start()
+	srv := NewServer(s)
+	job := jt.Submit(mapreduce.JobSpec{NewMapper: nopMapper}, mapreduce.SplitsForFile(f))
+	mapreduce.RunUntilDone(eng, job, 1e6)
+
+	getStatus := func() StatusPayload {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+		var p StatusPayload
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatalf("bad /status JSON: %v", err)
+		}
+		return p
+	}
+	getLive := func() string {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/live", nil))
+		return rec.Body.String()
+	}
+
+	if p := getStatus(); p.Engine != nil {
+		t.Fatalf("baseline run should have no engine section, got %+v", p.Engine)
+	}
+	if strings.Contains(getLive(), "Session engine") {
+		t.Fatal("baseline /live should not show the session-engine table")
+	}
+
+	// A memory-mode runtime sets the residency gauges and counters.
+	tr := jt.Tracer()
+	tr.SetGauge(trace.GaugeResidentBytes, 3<<20)
+	tr.SetGauge(trace.GaugePinnedBytes, 5<<20)
+	tr.Inc(trace.CounterDeltaShuffleHits, 7)
+	tr.Inc(trace.CounterResidentStores, 9)
+
+	p := getStatus()
+	if p.Engine == nil {
+		t.Fatal("engine section missing after gauges were set")
+	}
+	if p.Engine.ResidentBytes != 3<<20 || p.Engine.PinnedBytes != 5<<20 ||
+		p.Engine.DeltaShuffleHits != 7 || p.Engine.ResidentStores != 9 {
+		t.Fatalf("engine section wrong: %+v", p.Engine)
+	}
+	live := getLive()
+	if !strings.Contains(live, "Session engine") || !strings.Contains(live, "3.0 MB") {
+		t.Fatalf("/live missing session-engine table:\n%s", live)
+	}
+
+	// The published (lock-free) snapshot path must carry the section too.
+	srv.Publish()
+	if p := getStatus(); p.Engine == nil || p.Engine.DeltaShuffleHits != 7 {
+		t.Fatalf("published status lost the engine section: %+v", p.Engine)
+	}
+	if !strings.Contains(getLive(), "Session engine") {
+		t.Fatal("published /live lost the session-engine table")
+	}
+}

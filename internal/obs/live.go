@@ -19,13 +19,15 @@ func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 		dump   qstats.Dump
 		vt     float64
 		recent []Snapshot
+		engine *EngineStats
 	)
 	if p := s.publishedState(); p != nil {
-		dump, vt, recent = p.dump, p.vt, p.recent
+		dump, vt, recent, engine = p.dump, p.vt, p.recent, p.engine
 	} else {
 		s.mu.Lock()
 		dump = s.qs.Dump()
 		vt = s.samp.JobTracker().Engine().Now()
+		engine = engineStats(s.samp.JobTracker().Tracer())
 		fresh := s.samp.SnapshotsSince(s.snapCursor)
 		s.snapCursor += len(fresh)
 		s.recent = append(s.recent, fresh...)
@@ -60,6 +62,14 @@ th { background: #1b2128; color: #8fbcbb; } td:first-child, th:first-child { tex
 	writeSparkline(&b, "map slot %", recent, func(sn Snapshot) float64 { return sn.MapSlotPct }, 100)
 	writeSparkline(&b, "disk KB/s", recent, func(sn Snapshot) float64 { return sn.DiskReadKBs }, 0)
 	b.WriteString("</div>\n")
+
+	if engine != nil {
+		b.WriteString("<h2>Session engine (memory mode)</h2>\n<table><tr><th>resident</th><th>pinned</th><th>delta-shuffle hits</th><th>parts stored</th><th>parts evicted</th><th>memo hits</th></tr>\n")
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			fmtBytes(engine.ResidentBytes), fmtBytes(engine.PinnedBytes),
+			engine.DeltaShuffleHits, engine.ResidentStores, engine.ResidentEvictions, engine.MemoHits)
+		b.WriteString("</table>\n")
+	}
 
 	b.WriteString("<h2>Per-policy latency (rolling)</h2>\n<table><tr><th>policy</th><th>finished</th><th>failed</th><th>qps</th><th>virt p50</th><th>virt p90</th><th>virt p99</th><th>virt max</th><th>wall p50</th><th>wall p99</th></tr>\n")
 	for _, p := range dump.Policies {
@@ -135,6 +145,20 @@ func writeSparkline(b *strings.Builder, label string, snaps []Snapshot, val func
 		fmt.Fprintf(b, `<text x="4" y="12" fill="#616e7c" font-size="9">%.0f</text>`, ceil)
 	}
 	b.WriteString(`</svg></span>`)
+}
+
+// fmtBytes renders a byte level compactly (512 B, 37.2 KB, 4.1 MB).
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
 }
 
 func clip(s string, n int) string {
