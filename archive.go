@@ -28,6 +28,13 @@ func (c *Cluster) BuildArchive(label string, cfg runarchive.RunConfig) (*runarch
 	if cfg.EngineMode == "" {
 		cfg.EngineMode = c.EngineMode()
 	}
+	if cfg.InputPath == "" {
+		// Full-scan stays the empty default so full-mode archive bytes
+		// match pre-field archives exactly.
+		if m := c.InputPath(); m != InputPathFull {
+			cfg.InputPath = m
+		}
+	}
 	if cfg.ScanWorkers == 0 {
 		cfg.ScanWorkers = c.scanPool.Workers()
 	}

@@ -170,3 +170,114 @@ func TestDiffBaselineVsMemoryTwinRuns(t *testing.T) {
 		t.Errorf("memory run should add delta-shuffle hits; counter deltas: %v", deltas)
 	}
 }
+
+// archivePathRun is archiveTwinRun's input-path sibling: the same
+// canned three-query session, run under one map-task read path. The
+// dataset geometry makes pruning unavoidable on every split — 13
+// zones per partition against ~20 planted matches across the table —
+// so the skip-scan side is strictly faster, not just faster on the
+// cold partitions off the critical path.
+func archivePathRun(t *testing.T, path string) *runarchive.Archive {
+	t.Helper()
+	c, err := NewCluster(WithTracing(trace.Config{}), WithQueryStats(), WithInputPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadLineItem("lineitem", DatasetSpec{
+		Scale: 2, Skew: 1, Selectivity: 0.00005, Partitions: 8, Rows: 400_000, Seed: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		if _, err := c.Query("SELECT L_ORDERKEY FROM lineitem WHERE L_QUANTITY > 50 LIMIT 200"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := c.BuildArchive(path+" run", runarchive.RunConfig{Policy: "LA", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := runarchive.Load(&buf)
+	if err != nil {
+		t.Fatalf("%s archive does not round-trip: %v", path, err)
+	}
+	return loaded
+}
+
+// TestDiffFullVsSkipScanRuns is the input-path acceptance pin for
+// `dynmr diff`: diffing a full-scan run against its skip-scan twin
+// must align every query, attribute the (negative) makespan delta to
+// the data-read components of the breakdown, and surface the pruning
+// in the scan counters — the exact workflow a user follows to confirm
+// where -input-path skip saved time.
+func TestDiffFullVsSkipScanRuns(t *testing.T) {
+	a := archivePathRun(t, InputPathFull)
+	b := archivePathRun(t, InputPathSkip)
+
+	// Full mode stays the empty default (archive bytes identical to
+	// pre-field runs); skip mode is recorded as provenance.
+	if a.Manifest.Config.InputPath != "" {
+		t.Fatalf("full-scan archive records input path %q, want empty", a.Manifest.Config.InputPath)
+	}
+	if b.Manifest.Config.InputPath != InputPathSkip {
+		t.Fatalf("skip-scan archive records input path %q", b.Manifest.Config.InputPath)
+	}
+
+	rep, err := runarchive.Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Fatalf("diff invariants: %v", err)
+	}
+	if len(rep.Jobs) != 3 || len(rep.OnlyA) != 0 || len(rep.OnlyB) != 0 {
+		t.Fatalf("want 3 aligned queries, got %d (+%v/-%v)", len(rep.Jobs), rep.OnlyA, rep.OnlyB)
+	}
+	for _, j := range rep.Jobs {
+		if j.Key == "" || j.Key[0] != 'q' {
+			t.Errorf("job %d/%d aligned by %q, want a query ID", j.AJob, j.BJob, j.Key)
+		}
+		sum := 0.0
+		for _, comp := range j.Components {
+			sum += comp.DeltaS
+		}
+		if math.Abs(sum-j.MakespanDeltaS) > 1e-6*math.Max(1, j.AMakespanS) {
+			t.Errorf("query %s: component deltas sum to %g, makespan delta %g", j.Key, sum, j.MakespanDeltaS)
+		}
+		// Skip-scan must be strictly faster at z=1 — that's the point.
+		if j.MakespanDeltaS >= 0 {
+			t.Errorf("query %s: skip-scan makespan delta %g, want < 0", j.Key, j.MakespanDeltaS)
+		}
+		// ... and the diff must attribute the win to the scan: the
+		// data-read components carry a net negative delta.
+		read := 0.0
+		for _, comp := range j.Components {
+			if comp.Name == "data-read-local" || comp.Name == "data-read-remote" {
+				read += comp.DeltaS
+			}
+		}
+		if read >= 0 {
+			t.Errorf("query %s: data-read delta %g, want < 0; components: %+v", j.Key, read, j.Components)
+		}
+	}
+	if rep.TotalMakespanDeltaS >= 0 {
+		t.Errorf("total makespan delta %g, want a skip-scan win", rep.TotalMakespanDeltaS)
+	}
+
+	// The counter deltas expose the mechanism: the skip side skipped
+	// blocks the full side read.
+	deltas := map[string]int64{}
+	for _, cd := range rep.CounterDeltas {
+		deltas[cd.Name] = cd.Delta
+	}
+	if deltas[trace.CounterScanBlocksSkipped] <= 0 {
+		t.Errorf("skip run should skip blocks; counter deltas: %v", deltas)
+	}
+	if deltas[trace.CounterScanBlocksRead] >= 0 {
+		t.Errorf("skip run should read fewer blocks; counter deltas: %v", deltas)
+	}
+}

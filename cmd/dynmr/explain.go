@@ -37,9 +37,10 @@ func explainMain(args []string) {
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	engineMode := fs.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
+	inputPath := fs.String("input-path", dynamicmr.InputPathFull, "map-task read path: full, skip (zone-map skip-scan) or index (clustered-index reads + informed grab ordering)")
 	fs.Parse(args)
 
-	opts := append(clusterOpts(*multi, *fair, *engineMode), dynamicmr.WithTracing(trace.Config{}))
+	opts := append(clusterOpts(*multi, *fair, *engineMode, *inputPath), dynamicmr.WithTracing(trace.Config{}))
 	if *spec {
 		opts = append(opts, dynamicmr.WithSpeculativeExecution())
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair]
+//	      [-engine-mode baseline|memory] [-input-path full|skip|index]
 //	      [-trace-out FILE] [-report-out FILE] [-sample-interval S]
 //	      [-log-out FILE] [-log-level LEVEL] [-e "SQL"]
 //	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS]
@@ -97,9 +98,10 @@ func main() {
 	logOut := flag.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	engineMode := flag.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
+	inputPath := flag.String("input-path", dynamicmr.InputPathFull, "map-task read path: full, skip (zone-map skip-scan) or index (clustered-index reads + informed grab ordering)")
 	flag.Parse()
 
-	opts := clusterOpts(*multi, *fair, *engineMode)
+	opts := clusterOpts(*multi, *fair, *engineMode, *inputPath)
 	if *traceOut != "" || *reportOut != "" || *archiveOut != "" {
 		opts = append(opts, dynamicmr.WithTracing(trace.Config{}))
 	}

@@ -50,9 +50,10 @@ func serveMain(args []string) {
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := fs.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	engineMode := fs.String("engine-mode", dynamicmr.EngineModeBaseline, "execution engine: baseline or memory (resident map outputs reused across queries)")
+	inputPath := fs.String("input-path", dynamicmr.InputPathFull, "map-task read path: full, skip (zone-map skip-scan) or index (clustered-index reads + informed grab ordering)")
 	fs.Parse(args)
 
-	opts := append(clusterOpts(*multi, *fair, *engineMode),
+	opts := append(clusterOpts(*multi, *fair, *engineMode, *inputPath),
 		dynamicmr.WithQueryStats(),
 		dynamicmr.WithUtilizationSampling(*sampleInterval))
 	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
@@ -178,7 +179,7 @@ func writeQStats(c *dynamicmr.Cluster, path string) {
 
 // clusterOpts assembles the hardware/scheduler/engine options shared
 // with the shell mode.
-func clusterOpts(multi, fair bool, engineMode string) []dynamicmr.Option {
+func clusterOpts(multi, fair bool, engineMode, inputPath string) []dynamicmr.Option {
 	var opts []dynamicmr.Option
 	if multi {
 		opts = append(opts, dynamicmr.WithMultiUserSlots())
@@ -188,6 +189,9 @@ func clusterOpts(multi, fair bool, engineMode string) []dynamicmr.Option {
 	}
 	if engineMode != "" {
 		opts = append(opts, dynamicmr.WithEngineMode(engineMode))
+	}
+	if inputPath != "" {
+		opts = append(opts, dynamicmr.WithInputPath(inputPath))
 	}
 	return opts
 }

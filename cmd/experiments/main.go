@@ -7,7 +7,7 @@
 //
 //	experiments [-run all|tableI|tableII|tableIII|figure4|figure5|figure6|figure7|figure8]
 //	            [-mode quick|paper] [-j N] [-scan-workers N] [-engine-mode baseline|memory]
-//	            [-policies LIST] [-csv]
+//	            [-input-path full|skip|index] [-policies LIST] [-csv]
 //	            [-trace-out DIR] [-report-out DIR] [-sample-interval S]
 //	            [-diag-out DIR] [-archive-out DIR]
 //	            [-log-out FILE] [-log-level LEVEL]
@@ -31,6 +31,15 @@
 // GROW round only shuffles its newly grabbed splits. Simulated costs
 // are untouched, so output is byte-identical to baseline; only real
 // wall-clock time and allocations improve.
+//
+// -input-path selects how map tasks read their splits: full (the
+// default) reads every block and is byte-identical to the seed; skip
+// consults the load-time zone maps and charges simulated I/O only for
+// blocks that can contain predicate matches; index additionally reads
+// matches through the per-partition clustered index and grabs
+// statistically promising splits first. skip and index change
+// simulated costs and provider decisions — the tables quantify the
+// difference rather than hide it.
 //
 // -policies restricts the sweeps to a comma-separated subset of
 // Table I's policies (e.g. -policies LA,Hadoop); CI's smoke job uses
@@ -91,7 +100,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated artifacts to regenerate: all, tableI, tableII, tableIII, figure4, figure5, figure6, figure7, figure8, ablationInterval, ablationThreshold, ablationGrab, ablationAdaptive, ablationEngine")
+	run := flag.String("run", "all", "comma-separated artifacts to regenerate: all, tableI, tableII, tableIII, figure4, figure5, figure6, figure7, figure8, ablationInterval, ablationThreshold, ablationGrab, ablationAdaptive, ablationEngine, ablationInputPath")
 	mode := flag.String("mode", "quick", "quick (scaled-down, minutes) or paper (full §V parameters)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace-out", "", "directory for per-cell utilization timeline CSVs (figures 6-8)")
@@ -100,6 +109,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "sweep cells to run concurrently (1 = sequential; output is identical either way)")
 	scanWorkers := flag.Int("scan-workers", runtime.NumCPU(), "scan-executor pool size for off-sim-thread map scans (0 = inline; output is identical either way)")
 	engineMode := flag.String("engine-mode", "baseline", "execution engine: baseline, or memory (resident map outputs reused across a sweep's jobs; output is identical either way)")
+	inputPath := flag.String("input-path", "full", "map-task input path: full (every block read; seed-identical output), skip (zone-map skip-scan) or index (clustered-index reads + informed grab ordering)")
 	policies := flag.String("policies", "", "comma-separated subset of Table I policies to sweep (default: all)")
 	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
 	diagOut := flag.String("diag-out", "", "directory for per-cell job-diagnosis CSVs (figures 5-8; enables tracing and enforces the diagnosis invariants)")
@@ -165,6 +175,7 @@ func main() {
 	opt.Parallelism = *jobs
 	opt.ScanWorkers = *scanWorkers
 	opt.EngineMode = *engineMode
+	opt.InputPath = *inputPath
 	if *policies != "" {
 		opt.Policies = strings.Split(*policies, ",")
 	}
@@ -270,6 +281,7 @@ func main() {
 		{"ablationGrab", experiments.AblationGrabScale},
 		{"ablationAdaptive", experiments.AblationAdaptive},
 		{"ablationEngine", experiments.AblationEngineMode},
+		{"ablationInputPath", experiments.AblationInputPath},
 	} {
 		abl := abl
 		timed(abl.name, func() error {
@@ -288,6 +300,7 @@ func main() {
 			Parallelism  int              `json:"parallelism"`
 			ScanWorkers  int              `json:"scan_workers"`
 			EngineMode   string           `json:"engine_mode"`
+			InputPath    string           `json:"input_path"`
 			GOMAXPROCS   int              `json:"gomaxprocs"`
 			Policies     []string         `json:"policies"`
 			Artifacts    []artifactTiming `json:"artifacts"`
@@ -297,6 +310,7 @@ func main() {
 			Parallelism:  *jobs,
 			ScanWorkers:  *scanWorkers,
 			EngineMode:   *engineMode,
+			InputPath:    *inputPath,
 			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 			Policies:     opt.Policies,
 			Artifacts:    timings,

@@ -57,6 +57,27 @@ const (
 	EngineModeMemory = "memory"
 )
 
+// Input paths selectable with WithInputPath.
+const (
+	// InputPathFull is the stock read path: every map task reads its
+	// whole split, block statistics notwithstanding. Query results and
+	// virtual timings are byte-identical to clusters predating the
+	// zone-map layer.
+	InputPathFull = mapreduce.InputPathFull
+	// InputPathSkip consults the load-time zone maps (per-block min/max
+	// and match presence for the planted predicate family) and charges
+	// simulated disk I/O and CPU only for the sub-blocks that can
+	// contain matches; provably match-free blocks are skipped unread.
+	// Scan results are record-identical to full; simulated costs — and
+	// therefore provider decisions — change, which is the point.
+	InputPathSkip = mapreduce.InputPathSkip
+	// InputPathIndex reads matches through the per-partition clustered
+	// index (one probe per promising block plus the matching rows) and
+	// additionally has Input Providers grab statistically promising
+	// splits first (informed grab ordering).
+	InputPathIndex = mapreduce.InputPathIndex
+)
+
 // defaultResidentCap bounds the memory engine mode's resident bytes
 // (encoded map-output size) unless WithRuntime supplied a store.
 const defaultResidentCap = 512 << 20
@@ -133,6 +154,15 @@ func WithScanWorkers(n int) Option {
 // byte-identical to baseline.
 func WithEngineMode(mode string) Option {
 	return func(c *config) { c.engineMode = mode }
+}
+
+// WithInputPath selects the map-task read path: InputPathFull (the
+// default), InputPathSkip or InputPathIndex. NewCluster rejects
+// unknown modes. Sessions inherit the cluster's mode as their default
+// and individual queries can override it with
+// SET dynamic.input.path = full|skip|index.
+func WithInputPath(mode string) Option {
+	return func(c *config) { c.runtime.InputPath = mode }
 }
 
 // WithTracing enables the tracing/metrics subsystem with the given
@@ -223,6 +253,10 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	if cfg.policies == nil {
 		cfg.policies = core.DefaultRegistry()
 	}
+	if !mapreduce.ValidInputPath(cfg.runtime.InputPath) {
+		return nil, fmt.Errorf("dynamicmr: unknown input path %q (want %q, %q or %q)",
+			cfg.runtime.InputPath, InputPathFull, InputPathSkip, InputPathIndex)
+	}
 	var resident *mapreduce.ResidentStore
 	switch cfg.engineMode {
 	case "", EngineModeBaseline:
@@ -305,6 +339,10 @@ func (c *Cluster) EngineMode() string {
 	}
 	return EngineModeBaseline
 }
+
+// InputPath reports the map-task read path the cluster was built with
+// (InputPathFull unless WithInputPath chose otherwise).
+func (c *Cluster) InputPath() string { return c.jt.InputPath() }
 
 // ResidentStats snapshots the memory engine mode's resident store; ok
 // is false (and the stats zero) in baseline mode.

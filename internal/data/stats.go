@@ -1,0 +1,49 @@
+package data
+
+// BlockStats summarises a source's load-time zone map for one predicate
+// fingerprint: how many statistics sub-blocks the source is divided
+// into, and how much of the source (blocks, rows, bytes, matches) a
+// reader restricted to match-admitting sub-blocks would touch. The
+// stats are computed when the dataset is built — the "aggressive
+// elephant" observation that per-block min/max and match-presence
+// summaries cost almost nothing at load time — so a scheduler or
+// replica can answer "is this block promising?" without any read.
+type BlockStats struct {
+	// Blocks is the number of statistics sub-blocks covering the source;
+	// MatchBlocks of them admit at least one matching record.
+	Blocks      int
+	MatchBlocks int
+	// Rows and Bytes cover the whole source (equal to NumRecords and
+	// SizeBytes); MatchRows and MatchBytes cover only the
+	// match-admitting sub-blocks — what a skip-scan reads.
+	Rows       int64
+	Bytes      int64
+	MatchRows  int64
+	MatchBytes int64
+	// Matches is the exact number of matching records — what a
+	// clustered-index read returns.
+	Matches int64
+}
+
+// StatSource is implemented by sources that computed per-block
+// statistics for a predicate family at load time (the dataset package's
+// planted partitions). ok is false when the fingerprint is not one the
+// source has statistics for; callers must then fall back to a full
+// scan.
+type StatSource interface {
+	BlockStats(fingerprint string) (BlockStats, bool)
+}
+
+// PrunableSource is implemented by sources that can present a pruned
+// view of themselves for a fingerprinted predicate: a Source whose Scan
+// yields only the records a skip-scan (indexed=false: every record of
+// every match-admitting sub-block) or a clustered-index read
+// (indexed=true: only the matching records) would surface, in source
+// order. Both views yield exactly the records of a full scan restricted
+// to their coverage, so a downstream filter on the fingerprinted
+// predicate produces identical output either way (property-tested in
+// the dataset package). ok is false when the source has no statistics
+// for the fingerprint.
+type PrunableSource interface {
+	PruneScan(fingerprint string, indexed bool) (Source, bool)
+}

@@ -67,6 +67,10 @@ type Partition struct {
 	// matchPos holds the sorted in-partition offsets of planted rows.
 	matchPos []int64
 	bytes    int64
+	// zones is the load-time zone map (StatBlockRows-row sub-blocks with
+	// min/max + exact match counts); stats is its aggregate summary.
+	zones []ZoneEntry
+	stats data.BlockStats
 
 	// pinMu guards pins; hot is read lock-free by AcceleratedMatches,
 	// which may run on scan-executor workers concurrently with a Pin on
@@ -154,6 +158,7 @@ func Build(spec Spec) (*Dataset, error) {
 		p := &Partition{ds: ds, index: i, startRow: start, numRows: rows[i]}
 		p.matchPos = samplePositions(rng, rows[i], m)
 		p.bytes = rows[i] * tpch.AvgRowBytes
+		p.buildZones()
 		ds.partitions = append(ds.partitions, p)
 		start += rows[i]
 	}

@@ -29,7 +29,21 @@ type SkewLevel struct {
 	Predicate expr.Expr
 	// plant rewrites a base LINEITEM row into one satisfying Predicate.
 	plant func(data.Record, *plantRNG) data.Record
+
+	// Zone-map metadata for the predicate's column: the generator's
+	// natural value domain [natMin, natMax] and the planted values'
+	// domain [plantMin, plantMax]. A stat sub-block's min/max is the
+	// natural domain, extended by the plant domain when the block holds
+	// planted rows — conservative bounds that contain every value the
+	// block can produce (pinned by TestZoneBoundsAreConservative).
+	statColumn         string
+	natMin, natMax     data.Value
+	plantMin, plantMax data.Value
 }
+
+// StatColumn returns the predicate's column, the one the zone map keeps
+// min/max bounds for.
+func (l SkewLevel) StatColumn() string { return l.statColumn }
 
 // plantRNG supplies deterministic randomness for plant transforms, so a
 // planted row's free attributes vary rather than being constant.
@@ -63,6 +77,9 @@ var skewLevels = []SkewLevel{
 		plant: func(r data.Record, _ *plantRNG) data.Record {
 			return r.With("L_DISCOUNT", data.Float(0.11))
 		},
+		statColumn: "L_DISCOUNT",
+		natMin:     data.Float(0.00), natMax: data.Float(0.10),
+		plantMin: data.Float(0.11), plantMax: data.Float(0.11),
 	},
 	{
 		Z:    1,
@@ -73,6 +90,9 @@ var skewLevels = []SkewLevel{
 		plant: func(r data.Record, rng *plantRNG) data.Record {
 			return r.With("L_QUANTITY", data.Int(51+rng.intn(10)))
 		},
+		statColumn: "L_QUANTITY",
+		natMin:     data.Int(1), natMax: data.Int(50),
+		plantMin: data.Int(51), plantMax: data.Int(60),
 	},
 	{
 		Z:    2,
@@ -83,6 +103,13 @@ var skewLevels = []SkewLevel{
 		plant: func(r data.Record, _ *plantRNG) data.Record {
 			return r.With("L_SHIPMODE", data.Str("DRONE"))
 		},
+		// Note 'DRONE' sorts lexicographically *inside* ['AIR', 'TRUCK'],
+		// so min/max range pruning alone cannot exclude it; the exact
+		// match-presence bit (free, since matches are planted) is what
+		// makes z=2 blocks skippable. See DESIGN.md "Input path".
+		statColumn: "L_SHIPMODE",
+		natMin:     data.Str("AIR"), natMax: data.Str("TRUCK"),
+		plantMin: data.Str("DRONE"), plantMax: data.Str("DRONE"),
 	},
 }
 

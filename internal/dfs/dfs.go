@@ -76,6 +76,28 @@ func (b *Block) Unpin() {
 // Pinned reports whether the block holds at least one residency claim.
 func (b *Block) Pinned() bool { return b.pins > 0 }
 
+// BlockStats returns the block's load-time zone-map summary for a
+// predicate fingerprint, when the source computed one. Any replica can
+// answer from it — the statistics live with the block metadata, so no
+// read is charged.
+func (b *Block) BlockStats(fingerprint string) (data.BlockStats, bool) {
+	if s, ok := b.Source.(data.StatSource); ok {
+		return s.BlockStats(fingerprint)
+	}
+	return data.BlockStats{}, false
+}
+
+// Promising reports whether the block may hold records matching the
+// fingerprinted predicate. Without statistics the answer is true — the
+// block must be read to know.
+func (b *Block) Promising(fingerprint string) bool {
+	s, ok := b.BlockStats(fingerprint)
+	if !ok {
+		return true
+	}
+	return s.MatchBlocks > 0
+}
+
 // SizeBytes returns the block length.
 func (b *Block) SizeBytes() int64 { return b.Source.SizeBytes() }
 

@@ -21,7 +21,7 @@ import (
 // cluster under the given policy and provider wrapping, returning the
 // finished job and its client.
 func (o Options) singleUserRun(sh *sweepShared, z float64, pol *core.Policy,
-	wrap func(core.InputProvider) core.InputProvider, seed int64) (*core.JobClient, error) {
+	wrap func(core.InputProvider) core.InputProvider, conf *mapreduce.JobConf, seed int64) (*core.JobClient, error) {
 	scale := o.Scales[len(o.Scales)-1]
 	ds, err := sh.cache.get(o.datasetSpec(scale, z, fmt.Sprintf("lineitem_%dx_z%g", scale, z), 0))
 	if err != nil {
@@ -36,7 +36,7 @@ func (o Options) singleUserRun(sh *sweepShared, z float64, pol *core.Policy,
 	if err != nil {
 		return nil, err
 	}
-	spec, err := sampling.NewJobSpec(ds.Predicate(), o.SampleK, proj, nil)
+	spec, err := sampling.NewJobSpec(ds.Predicate(), o.SampleK, proj, conf)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +86,7 @@ func AblationInterval(opt Options) (*Table, error) {
 			WorkThresholdPct:    base.WorkThresholdPct,
 			GrabLimitExpr:       base.GrabLimitExpr,
 		}
-		client, err := opt.singleUserRun(sh, 1, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(sh, 1, pol, nil, nil, opt.Seed)
 		if err != nil {
 			return err
 		}
@@ -127,7 +127,7 @@ func AblationThreshold(opt Options) (*Table, error) {
 			WorkThresholdPct:    thresholds[i],
 			GrabLimitExpr:       "AS > 0 ? 0.2*AS : 0.1*TS",
 		}
-		client, err := opt.singleUserRun(sh, 1, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(sh, 1, pol, nil, nil, opt.Seed)
 		if err != nil {
 			return err
 		}
@@ -170,7 +170,7 @@ func AblationGrabScale(opt Options) (*Table, error) {
 			WorkThresholdPct:    0,
 			GrabLimitExpr:       fmt.Sprintf("%g*AS", scales[i]),
 		}
-		client, err := opt.singleUserRun(sh, 2, pol, nil, opt.Seed)
+		client, err := opt.singleUserRun(sh, 2, pol, nil, nil, opt.Seed)
 		if err != nil {
 			return err
 		}
@@ -229,10 +229,10 @@ func AblationAdaptive(opt Options) (*Table, error) {
 			if perr != nil {
 				return perr
 			}
-			client, err = opt.singleUserRun(sh, 1, pol, nil, opt.Seed)
+			client, err = opt.singleUserRun(sh, 1, pol, nil, nil, opt.Seed)
 		} else {
 			client, err = opt.singleUserRun(sh, 1, core.AdaptiveEnvelopePolicy(),
-				func(p core.InputProvider) core.InputProvider { return core.NewAdaptiveProvider(p) }, opt.Seed)
+				func(p core.InputProvider) core.InputProvider { return core.NewAdaptiveProvider(p) }, nil, opt.Seed)
 		}
 		if err != nil {
 			return err

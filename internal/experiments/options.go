@@ -7,6 +7,7 @@ import (
 
 	"dynamicmr/internal/core"
 	"dynamicmr/internal/dataset"
+	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/tpch"
 )
 
@@ -108,6 +109,15 @@ type Options struct {
 	// allocations only: all tables and CSVs are byte-identical in either
 	// mode.
 	EngineMode string
+	// InputPath selects how map tasks read their splits in every cell
+	// (the cmd/experiments -input-path flag): "" or "full" is the seed
+	// behaviour (every block read, byte-identical output); "skip" reads
+	// only zone-map-promising sub-blocks; "index" additionally grabs
+	// statistically promising splits first (informed grab ordering).
+	// Unlike ScanWorkers/EngineMode, skip and index change simulated
+	// costs and provider decisions — that is the point — so their
+	// tables are NOT byte-identical to full's.
+	InputPath string
 }
 
 // DefaultOptions is the paper-faithful configuration.
@@ -155,6 +165,9 @@ func (o Options) validate() error {
 	case "", "baseline", "memory":
 	default:
 		return fmt.Errorf("experiments: unknown engine mode %q (want baseline or memory)", o.EngineMode)
+	}
+	if !mapreduce.ValidInputPath(o.InputPath) {
+		return fmt.Errorf("experiments: unknown input path %q (want full, skip or index)", o.InputPath)
 	}
 	return nil
 }

@@ -37,14 +37,17 @@ type sweepShared struct {
 	// binds its own virtual clock to it via a private vlog handler.
 	logW     io.Writer
 	logLevel slog.Leveler
+	// inputPath is Options.InputPath, applied to every rig's runtime.
+	inputPath string
 }
 
 // newSweepShared builds the shared state for one sweep.
 func (o Options) newSweepShared() *sweepShared {
 	sh := &sweepShared{
-		cache: newDSCache(),
-		memo:  mapreduce.NewMapOutputCache(),
-		pool:  executor.NewPool(o.ScanWorkers),
+		cache:     newDSCache(),
+		memo:      mapreduce.NewMapOutputCache(),
+		pool:      executor.NewPool(o.ScanWorkers),
+		inputPath: o.InputPath,
 	}
 	if o.memoryEngine() {
 		// Unbounded within a sweep: resident bytes are bounded by the
@@ -99,6 +102,7 @@ func newRig(sched mapreduce.TaskScheduler, multiUser bool, sh *sweepShared, trac
 	mrCfg.MapOutputCache = sh.memo
 	mrCfg.ScanExecutor = sh.pool
 	mrCfg.ResidentStore = sh.resident
+	mrCfg.InputPath = sh.inputPath
 	if traced {
 		mrCfg.Trace = trace.Config{Enabled: true}
 	}

@@ -398,6 +398,14 @@ func (p *queryPlan) buildConf() *mapreduce.JobConf {
 	for k, v := range p.session.conf {
 		conf.Set(k, v)
 	}
+	// Surface the runtime's default input path in the conf when it is
+	// not full and the session didn't override it, so the Input
+	// Provider sees the mode too (informed grab ordering keys off the
+	// conf). Full mode injects nothing: the conf stays byte-identical
+	// to the seed's.
+	if mode := p.session.jt.InputPath(); mode != mapreduce.InputPathFull && !conf.Has(mapreduce.ConfInputPath) {
+		conf.Set(mapreduce.ConfInputPath, mode)
+	}
 	return conf
 }
 
@@ -495,6 +503,12 @@ func (p *queryPlan) explain() string {
 	}
 	if p.stmt.Limit >= 0 && p.agg == nil {
 		fmt.Fprintf(&b, "SAMPLE SIZE: %d\n", p.stmt.Limit)
+	}
+	switch mode := p.session.Get(mapreduce.ConfInputPath, p.session.jt.InputPath()); mode {
+	case mapreduce.InputPathSkip:
+		fmt.Fprintf(&b, "INPUT PATH: skip (zone-map skip-scan; non-matching blocks unread)\n")
+	case mapreduce.InputPathIndex:
+		fmt.Fprintf(&b, "INPUT PATH: index (clustered-index read, informed grab ordering)\n")
 	}
 	if p.dynamic {
 		fmt.Fprintf(&b, "EXECUTION: dynamic job (incremental input)\n")

@@ -77,8 +77,10 @@ type SetupMapper interface {
 // SplitMapper is an optional extension that takes control of scanning
 // the whole split instead of being fed record-at-a-time. A mapper that
 // can exploit structure in the split's Source (e.g. the dataset
-// package's accelerated match path) implements this; the runtime still
-// charges full-split I/O and CPU either way.
+// package's accelerated match path) implements this; the runtime
+// charges the split's I/O and CPU either way — the whole split under
+// the full input path, only the match-admitting sub-blocks under skip
+// or index (see inputpath.go).
 type SplitMapper interface {
 	Mapper
 	MapSplit(ctx *TaskContext, out *Collector) error
@@ -160,4 +162,12 @@ type JobSpec struct {
 	// (source, MemoKey) pair matches. Cached Collectors are shared, so
 	// jobs that set a MemoKey must not mutate map output downstream.
 	MemoKey string
+	// FilterFingerprint, when non-empty, declares the map output a
+	// function of only the input records matching the fingerprinted
+	// predicate (a data.StatSource fingerprint): records the predicate
+	// rejects never influence the output. A runtime running a skip or
+	// index input path may then read only the statistics sub-blocks
+	// that can hold matches, charging I/O for just those — see
+	// inputpath.go. Full mode ignores the declaration entirely.
+	FilterFingerprint string
 }

@@ -146,6 +146,59 @@ func BenchmarkDeltaShuffle(b *testing.B) {
 	}
 }
 
+// BenchmarkSkipScan measures a fingerprinted job reading through the
+// zone-map skip path: every attempt consults block statistics, scans
+// the pruned match-admitting view (20 of 100 records per block here)
+// and is charged only for the sub-blocks it read. Compare against
+// BenchmarkFullScanStats, the same job forced down the full path, to
+// see the pay-for-what-you-read win in wall clock and allocations.
+func BenchmarkSkipScan(b *testing.B) {
+	benchScanPath(b, InputPathSkip)
+}
+
+// BenchmarkFullScanStats is BenchmarkSkipScan's control: identical
+// stat-bearing input, full read path.
+func BenchmarkFullScanStats(b *testing.B) {
+	benchScanPath(b, InputPathFull)
+}
+
+func benchScanPath(b *testing.B, mode string) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.PaperConfig())
+	fs := dfs.New(cl)
+	srcs := make([]data.Source, 8)
+	for p := range srcs {
+		srcs[p] = newFakeStatSrc(int64(p) * 1000)
+	}
+	f, err := fs.Create("statin", srcs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jt := NewJobTracker(cl, DefaultConfig(), nil)
+	conf := NewJobConf()
+	conf.Set(ConfInputPath, mode)
+	conf.SetInt(ConfNumReduces, 4)
+	spec := JobSpec{
+		Conf: conf,
+		NewMapper: func(*JobConf) Mapper {
+			return MapperFunc(func(rec data.Record, out *Collector) error {
+				out.Emit(rec.MustGet("K").String(), rec)
+				return nil
+			})
+		},
+		NewReducer:        func(*JobConf) Reducer { return IdentityReducer },
+		FilterFingerprint: testFP,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := jt.Submit(spec, SplitsForFile(f))
+		if !RunUntilDone(eng, job, eng.Now()+1e6) {
+			b.Fatal("job stuck")
+		}
+	}
+}
+
 func BenchmarkHeartbeatScheduling(b *testing.B) {
 	eng := sim.NewEngine()
 	cl := cluster.New(eng, cluster.PaperConfig())

@@ -39,6 +39,13 @@ const (
 	// ("dynamic.input.provider").
 	ConfDynamicProvider = "dynamic.input.provider"
 
+	// ConfInputPath selects the job's input-path mode
+	// ("dynamic.input.path"): full, skip or index — see the InputPath*
+	// constants. Unset falls back to the runtime's Config.InputPath,
+	// then to full. Only jobs declaring a FilterFingerprint are
+	// affected.
+	ConfInputPath = "dynamic.input.path"
+
 	// ConfQueryID carries the stable per-query ID assigned by the
 	// qstats registry ("dynamic.query.id"); empty when query-level
 	// observability is disabled. It flows from the Hive session into

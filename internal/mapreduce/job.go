@@ -57,6 +57,12 @@ type Counters struct {
 	// counts attempts cancelled mid-flight (race losers).
 	SpeculativeLaunches int64
 	KilledAttempts      int64
+	// ScanBlocksRead / ScanBlocksSkipped count statistics sub-blocks
+	// read and zone-map-skipped across the job's map attempts (every
+	// attempt that reaches its read phase pays, like disk I/O). Under
+	// the full input path nothing is ever skipped.
+	ScanBlocksRead    int64
+	ScanBlocksSkipped int64
 	// User holds user-defined counters incremented by map/reduce
 	// functions via Collector.Inc.
 	User map[string]int64

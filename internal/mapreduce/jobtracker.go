@@ -30,6 +30,10 @@ type Costs struct {
 	SortCPUPerRecordS float64
 	// ReduceCPUPerRecordS is CPU seconds per reduce input record.
 	ReduceCPUPerRecordS float64
+	// IndexProbeBytes is the simulated I/O charged per match-admitting
+	// sub-block under the indexed input path (one clustered-index probe
+	// per block), on top of the matching records themselves.
+	IndexProbeBytes float64
 }
 
 // DefaultCosts returns constants calibrated so a 2012-era node spends
@@ -41,6 +45,7 @@ func DefaultCosts() Costs {
 		MapCPUPerByteS:      0,
 		SortCPUPerRecordS:   3e-6,
 		ReduceCPUPerRecordS: 2e-6,
+		IndexProbeBytes:     4096,
 	}
 }
 
@@ -102,6 +107,11 @@ type Config struct {
 	// may be shared across JobTrackers; impure jobs always execute
 	// inline. nil disables asynchronous scans.
 	ScanExecutor *executor.Pool
+	// InputPath is the runtime's default input-path mode (see the
+	// InputPath* constants): how map tasks read their splits for jobs
+	// declaring a FilterFingerprint. Empty or InputPathFull is the seed
+	// behaviour; a job conf's dynamic.input.path overrides it per job.
+	InputPath string
 	// Logger receives structured lifecycle events (job submit/finish,
 	// policy decisions, query execution) stamped with the virtual
 	// clock; see internal/vlog for the attribute contract. nil means
@@ -517,6 +527,8 @@ func (jt *JobTracker) Status(j *Job) JobStatus {
 		PendingMaps:      len(j.pendingMaps),
 		MapInputRecords:  j.Counters.MapInputRecords,
 		MapOutputRecords: j.Counters.MapOutputRecords,
+		ScanBlocksRead:   j.Counters.ScanBlocksRead,
+		ScanBlocksSkip:   j.Counters.ScanBlocksSkipped,
 		SubmitTime:       j.SubmitTime,
 		Now:              jt.eng.Now(),
 	}

@@ -35,7 +35,7 @@ import (
 // the job made no purity declaration).
 func (jt *JobTracker) submitScan(t *MapTask) *executor.Future {
 	pool := jt.cfg.ScanExecutor
-	memo := t.Job.Spec.MemoKey
+	memo := jt.effMemo(t.Job)
 	if !pool.Enabled() || memo == "" {
 		return nil // purity gate: impure jobs never enter the pool
 	}
@@ -50,12 +50,14 @@ func (jt *JobTracker) submitScan(t *MapTask) *executor.Future {
 	}
 	// The closure captures only values fixed when the phase chain
 	// starts — the spec (user factories + MemoKey), the conf, the split
-	// ordinal and the source. It runs on a pool worker concurrently
-	// with the simulation, so it must not touch mutable task or job
-	// state.
+	// ordinal and the source (the input path's view of it for the scan;
+	// the original for cache and singleflight identity). It runs on a
+	// pool worker concurrently with the simulation, so it must not
+	// touch mutable task or job state.
 	spec, conf, idx := t.Job.Spec, t.Job.Conf, t.Index
+	scanSrc := jt.scanSource(t.Job, t.Split)
 	return pool.Submit(executor.Key{Source: src, Memo: memo}, func() (any, error) {
-		out, err := scanSplit(spec, conf, idx, src)
+		out, err := scanSplit(spec, conf, idx, scanSrc)
 		if err == nil && cache != nil {
 			cache.store(src, memo, out)
 		}

@@ -18,6 +18,11 @@ type JobStatus struct {
 	// MapOutputRecords is the number of pairs emitted by finished map
 	// tasks — for a sampling job, the matches found so far.
 	MapOutputRecords int64
+	// ScanBlocksRead / ScanBlocksSkip count statistics sub-blocks read
+	// and zone-map-skipped by the job's map attempts so far (the
+	// pay-for-what-you-read input path; both zero-skip under full).
+	ScanBlocksRead int64
+	ScanBlocksSkip int64
 	// UserCounters snapshots the job's user-defined counters (§IV: the
 	// job status "includes additional statistics"); nil when none.
 	UserCounters map[string]int64

@@ -120,8 +120,9 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 	}
 	jt.tracePhase(att, trace.SpanStartup)
 
-	bytes := float64(t.Split.SizeBytes())
-	records := t.Split.NumRecords()
+	ch := jt.scanCharge(j, t.Split)
+	bytes := ch.bytes
+	records := ch.records
 	costs := jt.cfg.Costs
 
 	finish := func() {
@@ -141,6 +142,14 @@ func (jt *JobTracker) startAttempt(tt *TaskTracker, t *MapTask, speculative bool
 		att.timer = nil
 		if att.killed {
 			return
+		}
+		// The read is committed: every attempt reaching its read phase
+		// pays for its blocks, like the disk I/O below.
+		j.Counters.ScanBlocksRead += ch.blocksRead
+		j.Counters.ScanBlocksSkipped += ch.blocksSkipped
+		if tr := jt.tracer; tr.Enabled() {
+			tr.Inc(trace.CounterScanBlocksRead, ch.blocksRead)
+			tr.Inc(trace.CounterScanBlocksSkipped, ch.blocksSkipped)
 		}
 		jt.tracePhase(att, trace.SpanDiskRead)
 		disk := jt.cluster.Node(att.loc.Node).Disks[att.loc.Disk]
@@ -253,7 +262,7 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 		// session replaces both the scan join and the mapper run — the
 		// delta-shuffle hit. A miss takes the baseline path and admits
 		// the freshly partitioned output below.
-		rp = jt.cfg.ResidentStore.acquire(t.Split.Block.Source, j.Spec.MemoKey, j.numReduces)
+		rp = jt.cfg.ResidentStore.acquire(t.Split.Block.Source, jt.effMemo(j), j.numReduces)
 		if rp == nil {
 			if scan != nil {
 				out, err = jt.joinScan(scan)
@@ -359,7 +368,7 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 			// this job still uses the local arrays.
 			store := jt.cfg.ResidentStore
 			part := newResidentPart(
-				residentKey{t.Split.Block.Source, j.Spec.MemoKey, j.numReduces},
+				residentKey{t.Split.Block.Source, jt.effMemo(j), j.numReduces},
 				t.Split.Block, byPart, out)
 			part, evicted := store.admit(part)
 			j.held = append(j.held, part)
@@ -388,8 +397,12 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 		}
 	}
 
-	j.Counters.MapInputRecords += t.Split.NumRecords()
-	j.Counters.BytesRead += t.Split.SizeBytes()
+	// Input accounting matches what the attempt's read phase charged:
+	// the effective record/byte counts of the job's input path
+	// (scanCharge is pure, so recomputing it here agrees with launch).
+	ch := jt.scanCharge(j, t.Split)
+	j.Counters.MapInputRecords += ch.records
+	j.Counters.BytesRead += int64(ch.bytes)
 	j.Counters.CompletedMaps++
 	j.mapDurations = append(j.mapDurations, jt.eng.Now()-att.startTime)
 	if att.local {
@@ -426,7 +439,7 @@ func (jt *JobTracker) finishMapAttempt(att *mapAttempt) {
 // simulated I/O and CPU for the attempt were already charged by the
 // phase chain, so a cache hit only skips the real record scan.
 func (jt *JobTracker) execMapper(t *MapTask) (*Collector, error) {
-	if cache, key := jt.cfg.MapOutputCache, t.Job.Spec.MemoKey; cache != nil && key != "" {
+	if cache, key := jt.cfg.MapOutputCache, jt.effMemo(t.Job); cache != nil && key != "" {
 		src := t.Split.Block.Source
 		if out, ok := cache.lookup(src, key); ok {
 			jt.tracer.Inc(trace.CounterMemoHits, 1)
@@ -443,9 +456,10 @@ func (jt *JobTracker) execMapper(t *MapTask) (*Collector, error) {
 }
 
 // runMapper executes the user's map logic over the split for real,
-// inline on the simulator thread.
+// inline on the simulator thread. The scanned source is the job's
+// input-path view of the split (the pruned view under skip/index).
 func (jt *JobTracker) runMapper(t *MapTask) (*Collector, error) {
-	return scanSplit(t.Job.Spec, t.Job.Conf, t.Index, t.Split.Block.Source)
+	return scanSplit(t.Job.Spec, t.Job.Conf, t.Index, jt.scanSource(t.Job, t.Split))
 }
 
 // scanSplit executes the user's map logic (and combiner) over one

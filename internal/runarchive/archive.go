@@ -58,6 +58,10 @@ type RunConfig struct {
 	Policy string `json:"policy,omitempty"`
 	// EngineMode is "baseline" or "memory".
 	EngineMode string `json:"engine_mode,omitempty"`
+	// InputPath is the map-task read path ("skip" or "index"; empty
+	// means the full-scan default, keeping full-mode archives
+	// byte-identical to those written before the field existed).
+	InputPath string `json:"input_path,omitempty"`
 	// ScanWorkers is the scan-executor pool size (0 = inline scans).
 	ScanWorkers int `json:"scan_workers"`
 	// Seed is the dataset seed.

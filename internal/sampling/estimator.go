@@ -138,15 +138,27 @@ func (p *EstimatorProvider) Init(all []mapreduce.Split, conf *mapreduce.JobConf)
 	rng.Shuffle(len(p.splits), func(i, j int) {
 		p.splits[i], p.splits[j] = p.splits[j], p.splits[i]
 	})
+	// Informed ordering biases the estimator: the early prefix
+	// over-represents match-rich partitions, so p̂ starts high and the
+	// stopping rule can fire sooner than a uniform draw justifies. That
+	// is the flag's explicit trade (fast biased statistics); leave the
+	// flag off for unbiased estimates.
+	if fp, ok := informedGrab(conf); ok {
+		informedOrder(p.splits, fp)
+	}
 	p.cursor = 0
 	return nil
 }
 
-// InitialSplits implements core.InputProvider.
+// InitialSplits implements core.InputProvider. Grabs beyond the
+// remaining unscanned splits clamp to the remainder (see take): no
+// split is duplicated or dropped under any ordering.
 func (p *EstimatorProvider) InitialSplits(grab int) []mapreduce.Split {
 	return p.take(grab)
 }
 
+// take clamps n to [0, remaining] and advances the cursor; see
+// Provider.take for the no-duplicate/no-drop contract.
 func (p *EstimatorProvider) take(n int) []mapreduce.Split {
 	if n < 0 {
 		n = 0
@@ -206,6 +218,10 @@ func NewEstimationJobSpec(pred expr.Expr, conf *mapreduce.JobConf) (mapreduce.Jo
 	return mapreduce.JobSpec{
 		Conf:      conf,
 		NewMapper: func(*mapreduce.JobConf) mapreduce.Mapper { return &CountingMapper{Predicate: pred} },
+		// The match count is a function of only the matching records, so
+		// skip/index reads leave it unchanged. (The job stays un-memoised:
+		// its value is the counter, not the empty output.)
+		FilterFingerprint: pred.String(),
 	}, nil
 }
 

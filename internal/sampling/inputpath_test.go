@@ -1,0 +1,239 @@
+package sampling
+
+import (
+	"testing"
+
+	"dynamicmr/internal/data"
+	"dynamicmr/internal/dfs"
+	"dynamicmr/internal/mapreduce"
+)
+
+const stubFP = "(A > 5)"
+
+// statStubSrc is a slice source with hand-written zone statistics.
+type statStubSrc struct {
+	data.Source
+	matches int64
+}
+
+func (s *statStubSrc) BlockStats(fp string) (data.BlockStats, bool) {
+	if fp != stubFP {
+		return data.BlockStats{}, false
+	}
+	return data.BlockStats{Blocks: 4, MatchBlocks: 1, Rows: 10, Matches: s.matches}, true
+}
+
+// statSplits builds one split per entry; matches < 0 yields a
+// statistics-less block.
+func statSplits(matches ...int64) []mapreduce.Split {
+	out := make([]mapreduce.Split, len(matches))
+	for i, m := range matches {
+		recs := make([]data.Record, 10)
+		for j := range recs {
+			recs[j] = rec(int64(j), 0)
+		}
+		var src data.Source = data.NewSliceSource(testSchema, recs)
+		if m >= 0 {
+			src = &statStubSrc{Source: src, matches: m}
+		}
+		out[i] = mapreduce.Split{Block: &dfs.Block{Source: src,
+			Replicas: []dfs.Location{{Node: 0, Disk: 0}}}}
+	}
+	return out
+}
+
+func indexConf() *mapreduce.JobConf {
+	c := mapreduce.NewJobConf()
+	c.Set(mapreduce.ConfInputPath, mapreduce.InputPathIndex)
+	c.Set(mapreduce.ConfPredicate, stubFP)
+	return c
+}
+
+// splitMatches reads a split's zone-map match count (-1 = no stats).
+func splitMatches(s mapreduce.Split) int64 {
+	if st, ok := s.Block.BlockStats(stubFP); ok {
+		return st.Matches
+	}
+	return -1
+}
+
+func TestInformedOrderingSortsByMatches(t *testing.T) {
+	p := NewProvider(100, 7)
+	if err := p.Init(statSplits(3, 40, 0, 12, 7, 25, 1, 99), indexConf()); err != nil {
+		t.Fatal(err)
+	}
+	got := p.InitialSplits(8)
+	if len(got) != 8 {
+		t.Fatalf("handed out %d splits", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if splitMatches(got[i-1]) < splitMatches(got[i]) {
+			t.Fatalf("informed order not descending at %d: %d < %d",
+				i, splitMatches(got[i-1]), splitMatches(got[i]))
+		}
+	}
+	if splitMatches(got[0]) != 99 {
+		t.Fatalf("hottest split not first: %d matches", splitMatches(got[0]))
+	}
+}
+
+// Without the index input path the order must stay the seeded shuffle —
+// informed ordering is strictly opt-in (it changes the policy game).
+func TestInformedOrderingRequiresIndexMode(t *testing.T) {
+	for _, conf := range []*mapreduce.JobConf{
+		nil,
+		func() *mapreduce.JobConf { // skip mode: charging changes, ordering must not
+			c := indexConf()
+			c.Set(mapreduce.ConfInputPath, mapreduce.InputPathSkip)
+			return c
+		}(),
+		func() *mapreduce.JobConf { // index mode without a predicate: nothing to order by
+			c := mapreduce.NewJobConf()
+			c.Set(mapreduce.ConfInputPath, mapreduce.InputPathIndex)
+			return c
+		}(),
+	} {
+		splits := statSplits(3, 40, 0, 12, 7, 25, 1, 99)
+		base := NewProvider(100, 7)
+		if err := base.Init(splits, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := base.InitialSplits(8)
+
+		p := NewProvider(100, 7)
+		if err := p.Init(splits, conf); err != nil {
+			t.Fatal(err)
+		}
+		got := p.InitialSplits(8)
+		for i := range want {
+			if want[i].Block != got[i].Block {
+				t.Fatalf("conf %v reordered splits at %d", conf, i)
+			}
+		}
+	}
+}
+
+// Statistics-less splits rank as zero matches and — the sort being
+// stable — keep their shuffled relative order among themselves.
+func TestInformedOrderingStatsLessKeepShuffledOrder(t *testing.T) {
+	splits := statSplits(-1, 5, -1, 9, -1, -1, 2, -1)
+	base := NewProvider(100, 11)
+	if err := base.Init(splits, nil); err != nil {
+		t.Fatal(err)
+	}
+	var shuffled []*dfs.Block
+	for _, s := range base.InitialSplits(8) {
+		if splitMatches(s) < 0 {
+			shuffled = append(shuffled, s.Block)
+		}
+	}
+
+	p := NewProvider(100, 11)
+	if err := p.Init(splits, indexConf()); err != nil {
+		t.Fatal(err)
+	}
+	got := p.InitialSplits(8)
+	// The positive-match splits come first, descending.
+	if splitMatches(got[0]) != 9 || splitMatches(got[1]) != 5 || splitMatches(got[2]) != 2 {
+		t.Fatalf("match-rich splits not first: %d, %d, %d",
+			splitMatches(got[0]), splitMatches(got[1]), splitMatches(got[2]))
+	}
+	var rest []*dfs.Block
+	for _, s := range got[3:] {
+		if m := splitMatches(s); m > 0 {
+			t.Fatalf("match-rich split ranked after stat-less ones (%d matches)", m)
+		}
+		if splitMatches(s) < 0 {
+			rest = append(rest, s.Block)
+		}
+	}
+	if len(rest) != len(shuffled) {
+		t.Fatalf("stat-less split count changed: %d vs %d", len(rest), len(shuffled))
+	}
+	for i := range rest {
+		if rest[i] != shuffled[i] {
+			t.Fatalf("stat-less splits lost their shuffled relative order at %d", i)
+		}
+	}
+}
+
+// The satellite grab-limit edge: a grab exceeding the remaining
+// unscanned splits clamps to the remainder under informed ordering —
+// the union of all grabs is the exact input set, no duplicates, no
+// drops.
+func TestGrabBeyondRemainingUnderInformedOrdering(t *testing.T) {
+	splits := statSplits(3, 40, 0, 12, 7, 25, 1, 99)
+
+	p := NewProvider(1_000_000, 13)
+	if err := p.Init(splits, indexConf()); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*dfs.Block]bool{}
+	mark := func(ss []mapreduce.Split) {
+		for _, s := range ss {
+			if seen[s.Block] {
+				t.Fatal("split handed out twice")
+			}
+			seen[s.Block] = true
+		}
+	}
+	// First grab larger than the whole input: everything, exactly once.
+	first := p.InitialSplits(50)
+	if len(first) != len(splits) {
+		t.Fatalf("oversized initial grab returned %d splits, want %d", len(first), len(splits))
+	}
+	mark(first)
+	if p.Remaining() != 0 {
+		t.Fatalf("remaining = %d after draining grab", p.Remaining())
+	}
+	// Further grabs are empty, not duplicated.
+	if extra := p.take(10); len(extra) != 0 {
+		t.Fatalf("drained provider handed out %d more splits", len(extra))
+	}
+	if len(seen) != len(splits) {
+		t.Fatalf("union covers %d of %d splits", len(seen), len(splits))
+	}
+
+	// Same contract mid-stream: a partial grab then an oversized one.
+	p2 := NewProvider(1_000_000, 13)
+	if err := p2.Init(splits, indexConf()); err != nil {
+		t.Fatal(err)
+	}
+	seen = map[*dfs.Block]bool{}
+	mark(p2.InitialSplits(3))
+	rest := p2.take(100)
+	if len(rest) != len(splits)-3 {
+		t.Fatalf("oversized mid-stream grab returned %d, want %d", len(rest), len(splits)-3)
+	}
+	mark(rest)
+	if len(seen) != len(splits) {
+		t.Fatalf("union covers %d of %d splits", len(seen), len(splits))
+	}
+}
+
+// The estimator provider shares the contract (and the informed-order
+// bias is available behind the same flag).
+func TestEstimatorGrabBeyondRemainingUnderInformedOrdering(t *testing.T) {
+	splits := statSplits(3, 40, 0, 12, 7, 25, 1, 99)
+	p := NewEstimatorProvider(0.1, 17)
+	if err := p.Init(splits, indexConf()); err != nil {
+		t.Fatal(err)
+	}
+	got := p.InitialSplits(1000)
+	if len(got) != len(splits) {
+		t.Fatalf("oversized grab returned %d splits, want %d", len(got), len(splits))
+	}
+	if splitMatches(got[0]) != 99 {
+		t.Fatalf("estimator ignored informed ordering: first split has %d matches", splitMatches(got[0]))
+	}
+	seen := map[*dfs.Block]bool{}
+	for _, s := range got {
+		if seen[s.Block] {
+			t.Fatal("split handed out twice")
+		}
+		seen[s.Block] = true
+	}
+	if extra := p.take(5); len(extra) != 0 {
+		t.Fatalf("drained estimator handed out %d more splits", len(extra))
+	}
+}

@@ -4,10 +4,42 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"dynamicmr/internal/core"
 	"dynamicmr/internal/mapreduce"
 )
+
+// informedOrder stably reorders already-shuffled splits so the
+// statistically promising ones (more zone-map matches for the
+// fingerprinted predicate) are grabbed first. Splits without statistics
+// rank as zero matches; the sort is stable, so ties — including every
+// split of a stat-less input — keep their shuffled relative order. Used
+// only behind the index input-path flag: grabbing hot partitions first
+// changes the policy game (observed selectivity is biased upward early,
+// so providers estimate from a non-uniform prefix), which is precisely
+// the informed-grab trade the flag opts into.
+func informedOrder(splits []mapreduce.Split, fingerprint string) {
+	matches := func(s mapreduce.Split) int64 {
+		if st, ok := s.Block.BlockStats(fingerprint); ok {
+			return st.Matches
+		}
+		return 0
+	}
+	sort.SliceStable(splits, func(i, j int) bool {
+		return matches(splits[i]) > matches(splits[j])
+	})
+}
+
+// informedGrab reports whether the conf opts into informed grab
+// ordering, returning the predicate fingerprint to order by.
+func informedGrab(conf *mapreduce.JobConf) (string, bool) {
+	if conf == nil || conf.Get(mapreduce.ConfInputPath, "") != mapreduce.InputPathIndex {
+		return "", false
+	}
+	fp := conf.Get(mapreduce.ConfPredicate, "")
+	return fp, fp != ""
+}
 
 // Provider is the sampling Input Provider (§IV). It draws increments
 // uniformly at random from the unprocessed partitions (randomising the
@@ -51,6 +83,9 @@ func (p *Provider) Init(all []mapreduce.Split, conf *mapreduce.JobConf) error {
 	rng.Shuffle(len(p.splits), func(i, j int) {
 		p.splits[i], p.splits[j] = p.splits[j], p.splits[i]
 	})
+	if fp, ok := informedGrab(conf); ok {
+		informedOrder(p.splits, fp)
+	}
 	p.totalRecs = 0
 	for _, s := range p.splits {
 		p.totalRecs += s.NumRecords()
@@ -59,7 +94,10 @@ func (p *Provider) Init(all []mapreduce.Split, conf *mapreduce.JobConf) error {
 	return nil
 }
 
-// InitialSplits implements core.InputProvider.
+// InitialSplits implements core.InputProvider. Like every grab, a grab
+// larger than the remaining unscanned splits is clamped to the
+// remainder (see take): under any ordering — shuffled or informed —
+// each split is handed out exactly once, never duplicated or dropped.
 func (p *Provider) InitialSplits(grab int) []mapreduce.Split {
 	return p.take(grab)
 }
@@ -71,6 +109,11 @@ func (p *Provider) Remaining() int { return len(p.splits) - p.cursor }
 // consultation (for experiment diagnostics).
 func (p *Provider) SelectivityEstimates() []float64 { return p.estimates }
 
+// take advances the cursor over the (permuted, possibly
+// informed-ordered) split sequence and returns the next n splits. n is
+// clamped to [0, Remaining()]: a grab exceeding the unscanned remainder
+// returns exactly the remainder, so the union of all grabs is the exact
+// input set with no duplicates and no drops.
 func (p *Provider) take(n int) []mapreduce.Split {
 	if n < 0 {
 		n = 0

@@ -194,5 +194,8 @@ func NewJobSpec(pred expr.Expr, k int64, projection *data.Schema, conf *mapreduc
 		// own emissions at k per task regardless of what other tasks
 		// find, so it is safe to memoise under this key.
 		MemoKey: fmt.Sprintf("sampling|k=%d|pred=%s|proj=%s", k, pred.String(), projCols),
+		// Records the predicate rejects never reach the output, so the
+		// runtime may skip statistics sub-blocks with no matches.
+		FilterFingerprint: pred.String(),
 	}, nil
 }

@@ -25,6 +25,11 @@ const (
 	// simulated time).
 	CounterScanAsync  = "map.scan_async"
 	CounterScanStalls = "map.scan_stalls"
+	// CounterScanBlocksRead / CounterScanBlocksSkipped count statistics
+	// sub-blocks map attempts read vs. skipped via the zone map (the
+	// skip/index input paths); under the full path nothing is skipped.
+	CounterScanBlocksRead    = "scan.blocks_read"
+	CounterScanBlocksSkipped = "scan.blocks_skipped"
 	// Session-engine residency metrics (internal/mapreduce.ResidentStore
 	// and the MapOutputCache). memo_hits/memo_misses surface the memo
 	// cache's Stats() per runtime: one increment per lookup, from either
