@@ -7,6 +7,7 @@ import (
 
 	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/runarchive"
+	"dynamicmr/internal/tsdb"
 )
 
 // BuildArchive snapshots the run into a cross-run archive (schema
@@ -46,10 +47,23 @@ func (c *Cluster) BuildArchive(label string, cfg runarchive.RunConfig) (*runarch
 		d := c.qstats.Dump()
 		queries = &d
 	}
+	var series *tsdb.Dump
+	var alerts *tsdb.AlertsDump
+	if c.tsdb.Enabled() {
+		// A query finishing after the last scheduled tick (the clock
+		// stops with it) would otherwise be missing from the series and
+		// the slo_burn windows.
+		c.tsdb.Flush()
+		sd := c.tsdb.Dump()
+		ad := c.tsdb.AlertsDump()
+		series, alerts = &sd, &ad
+	}
 	return runarchive.New(runarchive.Source{
 		Label:         label,
 		Tracer:        tr,
 		Queries:       queries,
+		Series:        series,
+		Alerts:        alerts,
 		VirtualTimeS:  c.eng.Now(),
 		CreatedUnixMS: time.Now().UnixMilli(),
 		Config:        cfg,

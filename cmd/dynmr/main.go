@@ -8,6 +8,7 @@
 //	dynmr [-scale N] [-skew 0|1|2] [-rows N] [-multiuser] [-fair]
 //	      [-engine-mode baseline|memory] [-input-path full|skip|index]
 //	      [-trace-out FILE] [-report-out FILE] [-sample-interval S]
+//	      [-qstats-out FILE] [-alert-rules FILE] [-alerts-out FILE]
 //	      [-log-out FILE] [-log-level LEVEL] [-e "SQL"]
 //	dynmr serve [-addr HOST:PORT] [-policy NAME] [-k N] [-queries N] [-pace-ms MS]
 //	      [-qstats-out FILE] [-pprof] ...
@@ -23,7 +24,12 @@
 // (utilization time-series, slot-occupancy Gantt, policy decision log)
 // is written at exit. With -log-out, the runtime's structured log
 // stream (job lifecycle, Input Provider decisions, query execution) is
-// written as NDJSON, each record stamped with the virtual clock.
+// written as NDJSON, each record stamped with the virtual clock. With
+// -qstats-out, the per-query registry dump (schema dynamicmr.qstats/1)
+// is flushed at exit, like -archive-out. With -alert-rules, declarative
+// alert/SLO rules are evaluated on the virtual clock while statements
+// run; -alerts-out flushes the resulting alert dump (schema
+// dynamicmr.alerts/1) at exit.
 //
 // The serve subcommand runs a paced loop of sampling queries while
 // exposing live observability over HTTP: Prometheus text exposition on
@@ -94,6 +100,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) at exit")
 	reportOut := flag.String("report-out", "", "write a self-contained HTML run report at exit")
 	archiveOut := flag.String("archive-out", "", "write a cross-run archive (dynamicmr.archive/1 gzip NDJSON, for `dynmr diff`) at exit")
+	qstatsOut := flag.String("qstats-out", "", "write the per-query stats dump (dynamicmr.qstats/1 JSON) at exit")
+	alertRules := flag.String("alert-rules", "", "load declarative alert/SLO rules from FILE (JSON {\"rules\": [...]}) and evaluate them on the virtual clock")
+	alertsOut := flag.String("alerts-out", "", "write the alert dump (dynamicmr.alerts/1 JSON) at exit")
 	sampleInterval := flag.Float64("sample-interval", 0, "utilization sampler cadence in virtual seconds for -report-out (0 = 30s default)")
 	logOut := flag.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
 	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
@@ -107,6 +116,16 @@ func main() {
 	}
 	if *reportOut != "" {
 		opts = append(opts, dynamicmr.WithUtilizationSampling(*sampleInterval))
+	}
+	if *qstatsOut != "" {
+		opts = append(opts, dynamicmr.WithQueryStats())
+	}
+	if rules := loadAlertRules(*alertRules); len(rules) > 0 {
+		opts = append(opts, dynamicmr.WithAlertRules(rules...))
+	} else if *alertsOut != "" {
+		// -alerts-out without rules still gets a schema-valid (empty)
+		// dump, so pipelines can pass the flag unconditionally.
+		opts = append(opts, dynamicmr.WithTimeSeries(0))
 	}
 	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
 	defer logClose()
@@ -155,6 +174,8 @@ func main() {
 		runOne(*exec)
 		writeTrace(c, *traceOut)
 		writeReport(c, *reportOut, "dynmr session", reportParams(*scale, *skewZ, *rows))
+		writeQStats(c, *qstatsOut)
+		writeAlerts(c, *alertsOut)
 		writeArchive(c, *archiveOut, "dynmr session", shellConfig)
 		return
 	}
@@ -167,6 +188,8 @@ func main() {
 	}
 	writeTrace(c, *traceOut)
 	writeReport(c, *reportOut, "dynmr session", reportParams(*scale, *skewZ, *rows))
+	writeQStats(c, *qstatsOut)
+	writeAlerts(c, *alertsOut)
 	writeArchive(c, *archiveOut, "dynmr session", shellConfig)
 }
 

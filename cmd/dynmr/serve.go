@@ -14,6 +14,7 @@ import (
 	"dynamicmr"
 	"dynamicmr/internal/obs"
 	"dynamicmr/internal/runarchive"
+	"dynamicmr/internal/tsdb"
 )
 
 // serveMain runs `dynmr serve`: a paced closed loop of sampling queries
@@ -26,10 +27,16 @@ import (
 // snapshot of every endpoint, so scrapes never block behind the pacer
 // or a long engine burst.
 //
+// The time-series engine runs for every serve session (its cadence
+// follows -sample-interval), so /tsdb serves rolling trend history and
+// /live charts it. With -alert-rules, the declarative alert layer is
+// evaluated on the virtual clock; /alerts serves the rule set, the
+// firing set and the transition log (schema dynamicmr.alerts/1).
+//
 // SIGINT/SIGTERM shut the loop down gracefully: the current query
-// finishes, the -report-out / -log-out / -qstats-out / -archive-out
-// artifacts are flushed, the HTTP server drains, and the process
-// exits 0.
+// finishes, every -*-out sink (-report-out, -log-out, -qstats-out,
+// -alerts-out, -archive-out) is flushed schema-complete, the HTTP
+// server drains, and the process exits 0.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("dynmr serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address for /metrics, /status, /queries and /live")
@@ -45,6 +52,8 @@ func serveMain(args []string) {
 	sampleInterval := fs.Float64("sample-interval", 5, "utilization sampler cadence in virtual seconds (single queries are short, so the default is denser than the workload figures' 30s)")
 	reportOut := fs.String("report-out", "", "write the HTML run report to FILE on shutdown")
 	qstatsOut := fs.String("qstats-out", "", "write the per-query stats dump (dynamicmr.qstats/1 JSON) to FILE on shutdown")
+	alertRules := fs.String("alert-rules", "", "load declarative alert/SLO rules from FILE (JSON {\"rules\": [...]}) and evaluate them on the virtual clock")
+	alertsOut := fs.String("alerts-out", "", "write the alert dump (dynamicmr.alerts/1 JSON) to FILE on shutdown")
 	archiveOut := fs.String("archive-out", "", "write a cross-run archive (dynamicmr.archive/1, for `dynmr diff`) to FILE on shutdown")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
 	logOut := fs.String("log-out", "", "write the virtual-clock NDJSON log stream to FILE")
@@ -55,7 +64,11 @@ func serveMain(args []string) {
 
 	opts := append(clusterOpts(*multi, *fair, *engineMode, *inputPath),
 		dynamicmr.WithQueryStats(),
-		dynamicmr.WithUtilizationSampling(*sampleInterval))
+		dynamicmr.WithUtilizationSampling(*sampleInterval),
+		dynamicmr.WithTimeSeries(*sampleInterval))
+	if rules := loadAlertRules(*alertRules); len(rules) > 0 {
+		opts = append(opts, dynamicmr.WithAlertRules(rules...))
+	}
 	opts, logClose := withLogFlags(opts, *logOut, *logLevel)
 	defer logClose()
 	c, err := dynamicmr.NewCluster(opts...)
@@ -71,6 +84,7 @@ func serveMain(args []string) {
 
 	srv := obs.NewServer(c.Sampler())
 	srv.SetQueryStats(c.QueryStats())
+	srv.SetTSDB(c.TSDB())
 	handler := srv.Handler()
 	if *pprofOn {
 		// Register the pprof handlers explicitly on our own mux rather
@@ -91,7 +105,7 @@ func serveMain(args []string) {
 			fatal(err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "dynmr serve: listening on http://%s (/metrics, /status, /queries, /live); policy %s, k=%d\n",
+	fmt.Fprintf(os.Stderr, "dynmr serve: listening on http://%s (/metrics, /status, /queries, /tsdb, /alerts, /live); policy %s, k=%d\n",
 		*addr, *policy, *k)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -135,6 +149,7 @@ loop:
 			{"queries", fmt.Sprintf("%d", *queries)},
 		})
 	writeQStats(c, *qstatsOut)
+	writeAlerts(c, *alertsOut)
 	writeArchive(c, *archiveOut, fmt.Sprintf("dynmr serve — policy %s", *policy), runarchive.RunConfig{
 		Policy: *policy,
 		Seed:   42,
@@ -175,6 +190,45 @@ func writeQStats(c *dynamicmr.Cluster, path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote per-query stats to %s\n", path)
+}
+
+// loadAlertRules parses the -alert-rules file; a parse error is fatal
+// (a typoed rule must not silently disable alerting).
+func loadAlertRules(path string) []tsdb.Rule {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	rules, err := tsdb.ParseRules(data)
+	if err != nil {
+		fatal(err)
+	}
+	return rules
+}
+
+// writeAlerts flushes the alert dump when -alerts-out is set. Caller
+// holds the server lock (AlertsDump reads the virtual clock).
+func writeAlerts(c *dynamicmr.Cluster, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	c.TSDB().Flush() // catch queries that finished after the last tick
+	a := c.TSDB().AlertsDump()
+	if err := a.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote alert dump to %s\n", path)
 }
 
 // clusterOpts assembles the hardware/scheduler/engine options shared

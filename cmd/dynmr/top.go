@@ -10,6 +10,7 @@ import (
 
 	"dynamicmr/internal/obs"
 	"dynamicmr/internal/qstats"
+	"dynamicmr/internal/tsdb"
 )
 
 // topMain runs `dynmr top`: a text view of a running `dynmr serve`
@@ -62,9 +63,26 @@ func renderTop(client *http.Client, addr string) (string, error) {
 	if err := fetchJSON(client, "http://"+addr+"/queries", &dump); err != nil {
 		return "", err
 	}
+	// /tsdb and /alerts 404 when the serve instance predates the
+	// time-series engine; the sections are simply omitted then.
+	var trends tsdb.Dump
+	haveTrends := fetchJSON(client, "http://"+addr+"/tsdb", &trends) == nil
+	var alerts tsdb.AlertsDump
+	haveAlerts := fetchJSON(client, "http://"+addr+"/alerts", &alerts) == nil
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "dynmr @ %s — t=%.1fs virtual, %d events\n", addr, status.VirtualTimeS, status.ProcessedEvents)
+	if haveAlerts && len(alerts.Active) > 0 {
+		fmt.Fprintf(&b, "!! %d ALERT(S) FIRING:", len(alerts.Active))
+		for _, a := range alerts.Active {
+			fmt.Fprintf(&b, " %s (%.4g vs %.4g", a.Rule, a.Value, a.Threshold)
+			if a.Severity != "" {
+				fmt.Fprintf(&b, ", %s", a.Severity)
+			}
+			fmt.Fprintf(&b, ", since t=%.1fs)", a.SinceS)
+		}
+		b.WriteString("\n")
+	}
 	fmt.Fprintf(&b, "slots: map %d/%d, reduce %d/%d; queued %d maps %d reduces; %d running job(s)\n",
 		status.MapSlotsUsed, status.MapSlots, status.ReduceSlotsUsed, status.ReduceSlots,
 		status.QueuedMaps, status.QueuedReduces, status.RunningJobs)
@@ -75,7 +93,19 @@ func renderTop(client *http.Client, addr string) (string, error) {
 			e.ResidentBytes/(1<<20), e.PinnedBytes/(1<<20),
 			e.DeltaShuffleHits, e.ResidentStores, e.ResidentEvictions, e.MemoHits)
 	}
+	if sc := status.Scan; sc != nil {
+		pct := 0.0
+		if total := sc.BlocksRead + sc.BlocksSkipped; total > 0 {
+			pct = float64(sc.BlocksSkipped) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, "scan: input-path %s; %d blocks read, %d skipped (%.1f%%)\n",
+			sc.InputPath, sc.BlocksRead, sc.BlocksSkipped, pct)
+	}
 	b.WriteString("\n")
+
+	if haveTrends {
+		writeTopTrends(&b, trends)
+	}
 
 	if len(dump.Policies) > 0 {
 		fmt.Fprintf(&b, "%-8s %9s %7s %7s %9s %9s %9s %9s\n",
@@ -114,4 +144,74 @@ func renderTop(client *http.Client, addr string) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// topTrendSeries are the time-series histories `dynmr top` sparklines;
+// absent series are skipped.
+var topTrendSeries = []string{
+	"query.in_flight",
+	"query.match_rate",
+	"query.overshoot_ratio",
+	"cluster.running_jobs",
+	"scan.blocks_read",
+	"scan.blocks_skipped",
+}
+
+// writeTopTrends renders unicode sparklines over each known series'
+// raw ring.
+func writeTopTrends(b *strings.Builder, trends tsdb.Dump) {
+	byName := make(map[string][]tsdb.Point, len(trends.Series))
+	for _, sd := range trends.Series {
+		byName[sd.Name] = sd.Points
+	}
+	wrote := false
+	for _, name := range topTrendSeries {
+		pts := byName[name]
+		if len(pts) < 2 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "%-22s %-40s %12s %12s\n", "TREND", "", "LAST", "MAX")
+			wrote = true
+		}
+		fmt.Fprintf(b, "%-22s %-40s %12.4g %12.4g\n",
+			name, sparkline(pts, 40), pts[len(pts)-1].V, sparkMax(pts))
+	}
+	if wrote {
+		b.WriteString("\n")
+	}
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+func sparkMax(pts []tsdb.Point) float64 {
+	max := 0.0
+	for _, p := range pts {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// sparkline folds the series' newest points into width block-character
+// cells scaled to the window maximum.
+func sparkline(pts []tsdb.Point, width int) string {
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	max := sparkMax(pts)
+	if max <= 0 {
+		max = 1
+	}
+	out := make([]rune, 0, len(pts))
+	for _, p := range pts {
+		v := p.V / max
+		if v < 0 {
+			v = 0
+		}
+		i := int(v * float64(len(sparkRunes)-1))
+		out = append(out, sparkRunes[i])
+	}
+	return string(out)
 }

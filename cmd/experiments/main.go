@@ -10,6 +10,7 @@
 //	            [-input-path full|skip|index] [-policies LIST] [-csv]
 //	            [-trace-out DIR] [-report-out DIR] [-sample-interval S]
 //	            [-diag-out DIR] [-archive-out DIR]
+//	            [-alert-rules FILE] [-alerts-out DIR]
 //	            [-log-out FILE] [-log-level LEVEL]
 //	            [-bench-json FILE]
 //
@@ -74,6 +75,19 @@
 // `dynmr diff` for regression attribution. Cell archives are
 // unstamped, so their bytes are deterministic across reruns.
 //
+// With -alert-rules, every figure cell (5-8) runs a private
+// time-series engine (internal/tsdb) on its own virtual clock,
+// evaluating the file's declarative alert/SLO rules (JSON
+// {"rules": [...]}; threshold, rate_of_change, slo_burn); -alerts-out
+// writes each archived cell's alert dump into DIR (created if
+// missing) as <cell>.alerts.json, schema dynamicmr.alerts/1.
+// -alerts-out without -alert-rules still runs the engine, so the
+// dumps are schema-valid with an empty rule set. When -archive-out is
+// also set, the cell archives carry the series and alert log, and
+// `dynmr diff` between two sweeps attributes alert-set differences.
+// Alert dumps carry only virtual timestamps, so cell bytes stay
+// deterministic across reruns.
+//
 // With -log-out, the sweeps' structured log stream (job lifecycle,
 // Input Provider decisions, query execution) is written to FILE as
 // NDJSON, each record stamped with the originating cell's virtual
@@ -96,6 +110,7 @@ import (
 	"time"
 
 	"dynamicmr/internal/experiments"
+	"dynamicmr/internal/tsdb"
 	"dynamicmr/internal/vlog"
 )
 
@@ -114,6 +129,8 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write per-artifact wall-clock timings as JSON to FILE")
 	diagOut := flag.String("diag-out", "", "directory for per-cell job-diagnosis CSVs (figures 5-8; enables tracing and enforces the diagnosis invariants)")
 	archiveOut := flag.String("archive-out", "", "directory for per-cell cross-run archives (figures 5-8; *.archive.gz, compare with `dynmr diff`)")
+	alertRules := flag.String("alert-rules", "", "load declarative alert/SLO rules from FILE (JSON {\"rules\": [...]}) and evaluate them on every cell's virtual clock")
+	alertsOut := flag.String("alerts-out", "", "directory for per-cell alert dumps (figures 5-8; *.alerts.json, schema dynamicmr.alerts/1)")
 	logOut := flag.String("log-out", "", "write the sweeps' virtual-clock NDJSON log stream to FILE")
 	logLevel := flag.String("log-level", "info", "log level for -log-out: debug, info, warn or error")
 	flag.Parse()
@@ -155,6 +172,26 @@ func main() {
 			os.Exit(1)
 		}
 		opt.ArchiveDir = *archiveOut
+	}
+	if *alertRules != "" {
+		data, err := os.ReadFile(*alertRules)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		rules, err := tsdb.ParseRules(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		opt.AlertRules = rules
+	}
+	if *alertsOut != "" {
+		if err := os.MkdirAll(*alertsOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opt.AlertsDir = *alertsOut
 	}
 	if *logOut != "" {
 		level, err := vlog.ParseLevel(*logLevel)

@@ -22,6 +22,7 @@ import (
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/tsdb"
 	"dynamicmr/internal/vlog"
 )
 
@@ -94,6 +95,9 @@ type config struct {
 	sample         bool
 	sampleInterval float64
 	qstats         bool
+	tsdb           bool
+	tsdbInterval   float64
+	alertRules     []tsdb.Rule
 	logW           io.Writer
 	logLevel       slog.Leveler
 }
@@ -218,6 +222,40 @@ func WithQueryStats() Option {
 	}
 }
 
+// WithTimeSeries attaches the in-process time-series engine
+// (internal/tsdb): every intervalS virtual seconds (0 picks the default
+// 5 s cadence) it folds the trace registry's counters and gauges, the
+// cluster's queue/slot state, the per-policy qstats aggregates and the
+// derived per-query series (match-arrival rate, per-split scan cost,
+// overshoot ratio) into fixed-capacity downsampling ring buffers.
+// Tracing is forced on (the counters and gauges are the main feed).
+// Read the engine via TSDB(); dynmr serve exposes it on /tsdb and as
+// sparkline trend panels in /live.
+func WithTimeSeries(intervalS float64) Option {
+	return func(c *config) {
+		c.tsdb = true
+		c.tsdbInterval = intervalS
+		c.runtime.Trace.Enabled = true
+	}
+}
+
+// WithAlertRules attaches the declarative alert/SLO layer on top of the
+// time-series engine (implied, with its default cadence, if
+// WithTimeSeries was not given): rules are evaluated at every
+// collection tick on the virtual clock and produce a firing/resolved
+// event log (schema tsdb.AlertsSchemaVersion). Query stats are forced
+// on so latency-objective (slo_burn) rules have their input. Read the
+// log via TSDB().AlertsDump(); dynmr serve exposes it on /alerts and as
+// the active-alerts banner in /live.
+func WithAlertRules(rules ...tsdb.Rule) Option {
+	return func(c *config) {
+		c.tsdb = true
+		c.alertRules = append(c.alertRules, rules...)
+		c.qstats = true
+		c.runtime.Trace.Enabled = true
+	}
+}
+
 // Cluster is the top-level handle: a simulated Hadoop cluster with a
 // DFS, a JobTracker, a table catalog and a policy registry.
 type Cluster struct {
@@ -230,6 +268,7 @@ type Cluster struct {
 	sessions map[string]*hive.Session
 	sampler  *obs.Sampler
 	qstats   *qstats.Registry
+	tsdb     *tsdb.DB
 	scanPool *executor.Pool
 	resident *mapreduce.ResidentStore
 	closed   bool
@@ -306,6 +345,15 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	if cfg.qstats {
 		c.qstats = qstats.NewRegistry(jt)
 	}
+	if cfg.tsdb {
+		db, err := tsdb.New(jt, tsdb.Config{IntervalS: cfg.tsdbInterval, Rules: cfg.alertRules})
+		if err != nil {
+			return nil, err
+		}
+		db.SetQueryStats(c.qstats)
+		db.Start()
+		c.tsdb = db
+	}
 	return c, nil
 }
 
@@ -380,6 +428,11 @@ func (c *Cluster) Sampler() *obs.Sampler { return c.sampler }
 // be used unconditionally.
 func (c *Cluster) QueryStats() *qstats.Registry { return c.qstats }
 
+// TSDB returns the time-series engine; nil unless built WithTimeSeries
+// or WithAlertRules. All engine methods are nil-safe, so the result can
+// be used unconditionally.
+func (c *Cluster) TSDB() *tsdb.DB { return c.tsdb }
+
 // WriteReport renders the self-contained HTML run report (utilization
 // time-series, slot-occupancy Gantt, policy decision log) to w. It
 // requires WithUtilizationSampling; WithTracing enriches it with the
@@ -393,6 +446,10 @@ func (c *Cluster) WriteReport(w io.Writer, title string, params [][2]string) err
 		dump := c.qstats.Dump()
 		rep.Queries = dump.Queries
 		rep.QueryPolicies = dump.Policies
+	}
+	if c.tsdb.Enabled() {
+		alerts := c.tsdb.AlertsDump()
+		rep.Alerts = &alerts
 	}
 	return rep.WriteHTML(w)
 }

@@ -34,6 +34,12 @@ type RunSide struct {
 	// keys). When both sides carry an entry for a job, alignment uses
 	// the query ID; jobs without one align by job ID.
 	QueryByJob map[int]string
+	// Alerts is the side's alert-event signature multiset ("rule(state)"
+	// strings, in log order), when the run carried an alert log. Compare
+	// reports the signatures unique to each side so a regression that
+	// changes which alerts fire is attributed alongside the timing
+	// deltas. Kept as plain strings so diag stays below the tsdb layer.
+	Alerts []string
 }
 
 // key returns the alignment key for a job on this side.
@@ -153,6 +159,10 @@ type DiffReport struct {
 	// CounterDeltas lists trace counters whose values differ, sorted by
 	// name.
 	CounterDeltas []CounterDelta `json:"counter_deltas,omitempty"`
+	// AlertsOnlyA / AlertsOnlyB are alert-event signatures ("rule(state)")
+	// present on one side only (multiset difference, sorted).
+	AlertsOnlyA []string `json:"alerts_only_a,omitempty"`
+	AlertsOnlyB []string `json:"alerts_only_b,omitempty"`
 }
 
 // Compare diffs run B against run A: jobs are aligned by query ID when
@@ -212,7 +222,34 @@ func Compare(a, b RunSide) (*DiffReport, error) {
 	sort.Strings(rep.OnlyA)
 	sort.Strings(rep.OnlyB)
 	rep.CounterDeltas = counterDeltas(a.Report.Counters, b.Report.Counters)
+	rep.AlertsOnlyA, rep.AlertsOnlyB = stringMultisetDiff(a.Alerts, b.Alerts)
 	return rep, nil
+}
+
+// stringMultisetDiff returns the signatures unique to each side
+// (multiset semantics, mirroring anomalyDiff).
+func stringMultisetDiff(sa, sb []string) (onlyA, onlyB []string) {
+	ca := make(map[string]int)
+	cb := make(map[string]int)
+	for _, s := range sa {
+		ca[s]++
+	}
+	for _, s := range sb {
+		cb[s]++
+	}
+	for s, n := range ca {
+		for i := cb[s]; i < n; i++ {
+			onlyA = append(onlyA, s)
+		}
+	}
+	for s, n := range cb {
+		for i := ca[s]; i < n; i++ {
+			onlyB = append(onlyB, s)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
 }
 
 // compareJob builds the delta record for one aligned pair and verifies

@@ -69,6 +69,12 @@ func (r *DiffReport) WriteText(w io.Writer) error {
 	if len(r.OnlyB) > 0 {
 		bw.printf("only in B: %s\n", strings.Join(r.OnlyB, ", "))
 	}
+	if len(r.AlertsOnlyA) > 0 {
+		bw.printf("\nalerts only in A: %s\n", strings.Join(r.AlertsOnlyA, ", "))
+	}
+	if len(r.AlertsOnlyB) > 0 {
+		bw.printf("alerts only in B: %s\n", strings.Join(r.AlertsOnlyB, ", "))
+	}
 	if len(r.CounterDeltas) > 0 {
 		bw.printf("\ncounter deltas:\n")
 		for _, c := range r.CounterDeltas {
@@ -238,6 +244,17 @@ svg text { fill: #7f848e; font: 10px system-ui, sans-serif; }
 		}
 		if len(r.OnlyB) > 0 {
 			fmt.Fprintf(&b, "<p class=\"note\">only in B: %s</p>\n", esc(strings.Join(r.OnlyB, ", ")))
+		}
+		b.WriteString("</section>\n")
+	}
+
+	if len(r.AlertsOnlyA) > 0 || len(r.AlertsOnlyB) > 0 {
+		b.WriteString("<section>\n<h2>Alert differences</h2>\n")
+		for _, s := range r.AlertsOnlyA {
+			fmt.Fprintf(&b, "<p class=\"note\">⚠ alert only in A: %s</p>\n", esc(s))
+		}
+		for _, s := range r.AlertsOnlyB {
+			fmt.Fprintf(&b, "<p class=\"note\">⚠ alert only in B: %s</p>\n", esc(s))
 		}
 		b.WriteString("</section>\n")
 	}

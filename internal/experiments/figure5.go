@@ -109,11 +109,18 @@ func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 			return Figure5Cell{}, err
 		}
 		provider := sampling.NewProvider(opt.SampleK, opt.Seed+int64(run)*101+int64(scale))
-		client, err := core.SubmitDynamic(r.jt, spec, mapreduce.SplitsForFile(f), provider, pol)
+		splits := mapreduce.SplitsForFile(f)
+		client, err := core.SubmitDynamic(r.jt, spec, splits, provider, pol)
 		if err != nil {
 			return Figure5Cell{}, err
 		}
 		job := client.Job()
+		// Figure 5 submits below the hive layer, so the alerting rig's
+		// query registry is fed by hand — slo_burn rules need finished
+		// queries.
+		if r.qs.Enabled() {
+			r.qs.Register(r.qs.AllocID(), job, "", len(splits))
+		}
 		if !mapreduce.RunUntilDone(r.eng, job, 1e8) {
 			return Figure5Cell{}, fmt.Errorf("figure5: job stuck (z=%g scale=%d policy=%s)", z, scale, pol.Name)
 		}
@@ -149,7 +156,7 @@ func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 			if err != nil {
 				return Figure5Cell{}, err
 			}
-			if err := writeCellArchive(opt, name, r.jt, rep, runarchive.RunConfig{
+			if err := writeCellArchive(opt, name, r, rep, runarchive.RunConfig{
 				Policy: pol.Name,
 				Params: map[string]string{
 					"figure": "5",
@@ -157,6 +164,9 @@ func figure5Cell(opt Options, sh *sweepShared, reg *core.Registry,
 					"scale":  fmt.Sprintf("%d", scale),
 				},
 			}); err != nil {
+				return Figure5Cell{}, err
+			}
+			if err := writeCellAlerts(opt, name, r); err != nil {
 				return Figure5Cell{}, err
 			}
 		}

@@ -77,6 +77,7 @@ func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure
 			return Figure6Cell{}, err
 		}
 		sess := hive.NewSession(r.jt, r.catalog, nil, fmt.Sprintf("user%d", u))
+		sess.SetQueryStats(r.qs)
 		sess.Set("dynamic.job.policy", policy)
 		pred := ds.Predicate().String()
 		users[u] = &workload.User{
@@ -115,7 +116,7 @@ func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure
 	if err != nil {
 		return Figure6Cell{}, err
 	}
-	if err := writeCellArchive(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r.jt, rep, runarchive.RunConfig{
+	if err := writeCellArchive(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r, rep, runarchive.RunConfig{
 		Policy: policy,
 		Params: map[string]string{
 			"figure": "6",
@@ -123,6 +124,9 @@ func figure6Cell(opt Options, sh *sweepShared, z float64, policy string) (Figure
 			"users":  fmt.Sprintf("%d", opt.Users),
 		},
 	}); err != nil {
+		return Figure6Cell{}, err
+	}
+	if err := writeCellAlerts(opt, fmt.Sprintf("figure6_z%g_%s", z, policy), r); err != nil {
 		return Figure6Cell{}, err
 	}
 	cs, _ := results.Class("Sampling")

@@ -109,6 +109,7 @@ func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskSchedul
 			return Figure7Cell{}, err
 		}
 		sess := hive.NewSession(r.jt, r.catalog, nil, fmt.Sprintf("user%d", u))
+		sess.SetQueryStats(r.qs)
 		pred := ds.Predicate().String()
 		if u < nSampling {
 			sess.Set("dynamic.job.policy", policy)
@@ -160,7 +161,7 @@ func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskSchedul
 	if err != nil {
 		return Figure7Cell{}, err
 	}
-	if err := writeCellArchive(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r.jt, rep, runarchive.RunConfig{
+	if err := writeCellArchive(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r, rep, runarchive.RunConfig{
 		Policy: policy,
 		Params: map[string]string{
 			"figure":   fig,
@@ -168,6 +169,9 @@ func heterogeneousCell(opt Options, sh *sweepShared, sched mapreduce.TaskSchedul
 			"users":    fmt.Sprintf("%d", opt.Users),
 		},
 	}); err != nil {
+		return Figure7Cell{}, err
+	}
+	if err := writeCellAlerts(opt, fmt.Sprintf("%s_frac%g_%s", fig, frac, policy), r); err != nil {
 		return Figure7Cell{}, err
 	}
 	samp, _ := results.Class("Sampling")

@@ -9,6 +9,7 @@ import (
 	"dynamicmr/internal/dataset"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/tpch"
+	"dynamicmr/internal/tsdb"
 )
 
 // Options scales an experiment run. DefaultOptions reproduces the
@@ -109,6 +110,23 @@ type Options struct {
 	// allocations only: all tables and CSVs are byte-identical in either
 	// mode.
 	EngineMode string
+	// AlertRules, when non-empty, runs a per-cell time-series engine
+	// (internal/tsdb) evaluating these declarative alert/SLO rules on
+	// the cell's virtual clock (the cmd/experiments -alert-rules flag).
+	// Alerting enables tracing inside every rig — the engine's series
+	// are fed from the trace counters/gauges — and wires a per-cell
+	// qstats registry so slo_burn rules see finished queries. Like the
+	// reporting options, alerting changes real wall-clock time only;
+	// tables and CSVs stay byte-identical.
+	AlertRules []tsdb.Rule
+	// AlertsDir, when set, writes one alert dump per archived cell
+	// (<cell>.alerts.json, schema dynamicmr.alerts/1) from the cell's
+	// alert layer (the cmd/experiments -alerts-out flag). The directory
+	// must exist. AlertsDir alone (no rules) still runs the engine, so
+	// the dumps are schema-valid with an empty rule set. Dumps carry
+	// only virtual timestamps, so a cell's bytes are deterministic
+	// across reruns.
+	AlertsDir string
 	// InputPath selects how map tasks read their splits in every cell
 	// (the cmd/experiments -input-path flag): "" or "full" is the seed
 	// behaviour (every block read, byte-identical output); "skip" reads
@@ -169,6 +187,9 @@ func (o Options) validate() error {
 	if !mapreduce.ValidInputPath(o.InputPath) {
 		return fmt.Errorf("experiments: unknown input path %q (want full, skip or index)", o.InputPath)
 	}
+	if err := tsdb.ValidateRules(o.AlertRules); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
 	return nil
 }
 
@@ -205,11 +226,16 @@ func (o Options) workloadSpec(z float64, name string, seedOffset int64) dataset.
 func (o Options) reporting() bool { return o.ReportDir != "" }
 
 // traced reports whether cells run with tracing enabled — needed by
-// the HTML reports, the per-cell diagnosis CSVs and the per-cell
-// cross-run archives.
+// the HTML reports, the per-cell diagnosis CSVs, the per-cell
+// cross-run archives and the alert layer (whose series come from the
+// trace counters/gauges).
 func (o Options) traced() bool {
-	return o.ReportDir != "" || o.DiagDir != "" || o.ArchiveDir != ""
+	return o.ReportDir != "" || o.DiagDir != "" || o.ArchiveDir != "" || o.alerting()
 }
+
+// alerting reports whether cells run with a time-series engine and
+// alert layer attached.
+func (o Options) alerting() bool { return len(o.AlertRules) > 0 || o.AlertsDir != "" }
 
 // sampleInterval returns the report-sampler cadence, falling back to
 // the given per-figure default.

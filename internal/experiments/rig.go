@@ -13,9 +13,11 @@ import (
 	"dynamicmr/internal/hive"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/mapreduce/executor"
+	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/sim"
 	"dynamicmr/internal/tpch"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/tsdb"
 	"dynamicmr/internal/vlog"
 )
 
@@ -39,15 +41,26 @@ type sweepShared struct {
 	logLevel slog.Leveler
 	// inputPath is Options.InputPath, applied to every rig's runtime.
 	inputPath string
+	// alertRules / alerting carry Options' alert configuration into
+	// every rig: when alerting, each rig runs a private time-series
+	// engine (plus a qstats registry feeding its slo_burn rules) on its
+	// own virtual clock. alertIntervalS is the collection cadence
+	// (0 = tsdb default).
+	alertRules     []tsdb.Rule
+	alerting       bool
+	alertIntervalS float64
 }
 
 // newSweepShared builds the shared state for one sweep.
 func (o Options) newSweepShared() *sweepShared {
 	sh := &sweepShared{
-		cache:     newDSCache(),
-		memo:      mapreduce.NewMapOutputCache(),
-		pool:      executor.NewPool(o.ScanWorkers),
-		inputPath: o.InputPath,
+		cache:          newDSCache(),
+		memo:           mapreduce.NewMapOutputCache(),
+		pool:           executor.NewPool(o.ScanWorkers),
+		inputPath:      o.InputPath,
+		alertRules:     o.AlertRules,
+		alerting:       o.alerting(),
+		alertIntervalS: o.SampleIntervalS,
 	}
 	if o.memoryEngine() {
 		// Unbounded within a sweep: resident bytes are bounded by the
@@ -81,6 +94,10 @@ type rig struct {
 	fs      *dfs.DFS
 	jt      *mapreduce.JobTracker
 	catalog *hive.Catalog
+	// qs and db are the per-cell query registry and time-series/alert
+	// engine; both nil (and nil-safe) unless the sweep is alerting.
+	qs *qstats.Registry
+	db *tsdb.DB
 }
 
 // newRig builds a fresh cluster; multiUser selects the 16-slot
@@ -114,13 +131,28 @@ func newRig(sched mapreduce.TaskScheduler, multiUser bool, sh *sweepShared, trac
 	jt := mapreduce.NewJobTracker(cl, mrCfg, sched)
 	catalog := hive.NewCatalog()
 	catalog.SetLogger(jt.Logger())
-	return &rig{
+	r := &rig{
 		eng:     eng,
 		cl:      cl,
 		fs:      dfs.New(cl),
 		jt:      jt,
 		catalog: catalog,
 	}
+	if sh.alerting {
+		// Each rig owns its engine, so each runs a private collection
+		// tick; the registry feeds slo_burn rules and the per-query
+		// series. Rules were validated by Options.validate before the
+		// sweep started, so New cannot fail here.
+		db, err := tsdb.New(jt, tsdb.Config{IntervalS: sh.alertIntervalS, Rules: sh.alertRules})
+		if err != nil {
+			panic("experiments: alert rules revalidated in newRig: " + err.Error())
+		}
+		r.qs = qstats.NewRegistry(jt)
+		db.SetQueryStats(r.qs)
+		db.Start()
+		r.db = db
+	}
+	return r
 }
 
 // load stores a dataset in the rig's DFS and registers it as a table.

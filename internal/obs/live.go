@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dynamicmr/internal/qstats"
+	"dynamicmr/internal/tsdb"
 )
 
 // handleLive serves the self-refreshing HTML dashboard: cluster
@@ -20,14 +21,23 @@ func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 		vt     float64
 		recent []Snapshot
 		engine *EngineStats
+		scan   *ScanStats
+		trends tsdb.Dump
+		alerts tsdb.AlertsDump
 	)
 	if p := s.publishedState(); p != nil {
 		dump, vt, recent, engine = p.dump, p.vt, p.recent, p.engine
+		scan, trends, alerts = p.scan, p.trends, p.alerts
 	} else {
 		s.mu.Lock()
 		dump = s.qs.Dump()
 		vt = s.samp.JobTracker().Engine().Now()
 		engine = engineStats(s.samp.JobTracker().Tracer())
+		scan = scanStats(s.samp.JobTracker())
+		if s.db.Enabled() {
+			trends = s.db.Dump()
+			alerts = s.db.AlertsDump()
+		}
 		fresh := s.samp.SnapshotsSince(s.snapCursor)
 		s.snapCursor += len(fresh)
 		s.recent = append(s.recent, fresh...)
@@ -52,16 +62,46 @@ th { background: #1b2128; color: #8fbcbb; } td:first-child, th:first-child { tex
 .spark svg { background: #151a20; border: 1px solid #2e3440; }
 .cap { color: #616e7c; font-size: .8em; }
 .ok { color: #a3be8c; } .running { color: #ebcb8b; } .failed, .abandoned { color: #bf616a; }
+.alerts { background: #3b2226; border: 1px solid #bf616a; padding: .5em .8em; margin: .6em 0; }
+.alerts b { color: #bf616a; }
 </style></head><body>
 `)
 	fmt.Fprintf(&b, "<h1>dynmr live &mdash; t=%.1fs virtual, %d started / %d finished / %d failed</h1>\n",
 		vt, dump.Started, dump.Finished, dump.Failed)
+
+	if len(alerts.Active) > 0 {
+		b.WriteString(`<div class="alerts"><b>⚠ ` + fmt.Sprint(len(alerts.Active)) + ` alert(s) firing</b>: `)
+		for i, a := range alerts.Active {
+			if i > 0 {
+				b.WriteString(" &middot; ")
+			}
+			fmt.Fprintf(&b, "%s (%.4g vs %.4g", html.EscapeString(a.Rule), a.Value, a.Threshold)
+			if a.Severity != "" {
+				fmt.Fprintf(&b, ", %s", html.EscapeString(a.Severity))
+			}
+			fmt.Fprintf(&b, ", since t=%.1fs)", a.SinceS)
+		}
+		b.WriteString("</div>\n")
+	}
 
 	b.WriteString("<div>")
 	writeSparkline(&b, "cluster CPU %", recent, func(sn Snapshot) float64 { return sn.CPUUtilPct }, 100)
 	writeSparkline(&b, "map slot %", recent, func(sn Snapshot) float64 { return sn.MapSlotPct }, 100)
 	writeSparkline(&b, "disk KB/s", recent, func(sn Snapshot) float64 { return sn.DiskReadKBs }, 0)
 	b.WriteString("</div>\n")
+
+	writeTrendPanels(&b, trends)
+
+	if scan != nil {
+		b.WriteString("<h2>Input path</h2>\n<table><tr><th>mode</th><th>blocks read</th><th>blocks skipped</th><th>skipped %</th></tr>\n")
+		pct := 0.0
+		if total := scan.BlocksRead + scan.BlocksSkipped; total > 0 {
+			pct = float64(scan.BlocksSkipped) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f%%</td></tr>\n",
+			html.EscapeString(scan.InputPath), scan.BlocksRead, scan.BlocksSkipped, pct)
+		b.WriteString("</table>\n")
+	}
 
 	if engine != nil {
 		b.WriteString("<h2>Session engine (memory mode)</h2>\n<table><tr><th>resident</th><th>pinned</th><th>delta-shuffle hits</th><th>parts stored</th><th>parts evicted</th><th>memo hits</th></tr>\n")
@@ -107,11 +147,101 @@ th { background: #1b2128; color: #8fbcbb; } td:first-child, th:first-child { tex
 			q.MapSeconds, q.ShuffleSeconds, q.ReduceSeconds, html.EscapeString(clip(q.SQL, 60)))
 	}
 	b.WriteString("</table>\n")
-	fmt.Fprintf(&b, `<p class="cap">schema %s &middot; auto-refreshes every 2s &middot; <a href="/queries" style="color:#81a1c1">/queries</a> <a href="/metrics" style="color:#81a1c1">/metrics</a> <a href="/status" style="color:#81a1c1">/status</a></p>`+"\n", html.EscapeString(dump.Schema))
+	if len(alerts.Events) > 0 {
+		b.WriteString("<h2>Recent alert events</h2>\n<table><tr><th>t (vt s)</th><th>rule</th><th>state</th><th>value</th><th>threshold</th><th>severity</th></tr>\n")
+		const liveAlertRows = 15
+		start := len(alerts.Events) - liveAlertRows
+		if start < 0 {
+			start = 0
+		}
+		for i := len(alerts.Events) - 1; i >= start; i-- {
+			e := alerts.Events[i]
+			cls := "ok"
+			if e.State == tsdb.StateFiring {
+				cls = "failed"
+			}
+			fmt.Fprintf(&b, "<tr><td>%.1f</td><td>%s</td><td class=%q>%s</td><td>%.4g</td><td>%.4g</td><td>%s</td></tr>\n",
+				e.TimeS, html.EscapeString(e.Rule), cls, e.State, e.Value, e.Threshold, html.EscapeString(e.Severity))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	fmt.Fprintf(&b, `<p class="cap">schema %s &middot; auto-refreshes every 2s &middot; <a href="/queries" style="color:#81a1c1">/queries</a> <a href="/metrics" style="color:#81a1c1">/metrics</a> <a href="/status" style="color:#81a1c1">/status</a> <a href="/tsdb" style="color:#81a1c1">/tsdb</a> <a href="/alerts" style="color:#81a1c1">/alerts</a></p>`+"\n", html.EscapeString(dump.Schema))
 	b.WriteString("</body></html>\n")
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// liveTrendSeries are the time-series-engine histories /live charts
+// when the engine is attached; absent series are skipped silently.
+var liveTrendSeries = []struct {
+	name  string
+	label string
+}{
+	{"query.in_flight", "queries in flight"},
+	{"query.match_rate", "match rate /s"},
+	{"query.overshoot_ratio", "overshoot ratio"},
+	{"query.split_cost_s", "split cost s"},
+	{"cluster.running_jobs", "running jobs"},
+	{"scan.blocks_read", "blocks read"},
+	{"scan.blocks_skipped", "blocks skipped"},
+	{"engine.resident_bytes", "resident bytes"},
+	{"engine.pinned_bytes", "pinned bytes"},
+}
+
+// writeTrendPanels renders the tsdb-backed sparkline history panels:
+// one per known series present in the dump (raw ring, full retained
+// window).
+func writeTrendPanels(b *strings.Builder, trends tsdb.Dump) {
+	byName := make(map[string][]tsdb.Point, len(trends.Series))
+	for _, sd := range trends.Series {
+		byName[sd.Name] = sd.Points
+	}
+	wrote := false
+	for _, ts := range liveTrendSeries {
+		pts := byName[ts.name]
+		if len(pts) < 2 {
+			continue
+		}
+		if !wrote {
+			b.WriteString("<h2>Trends (time-series engine)</h2>\n<div>")
+			wrote = true
+		}
+		writeTrendSpark(b, ts.label, pts)
+	}
+	if wrote {
+		b.WriteString("</div>\n")
+	}
+}
+
+// writeTrendSpark renders one labelled sparkline over tsdb raw points,
+// auto-scaled to the window's maximum.
+func writeTrendSpark(b *strings.Builder, label string, pts []tsdb.Point) {
+	const w, h = 220, 48
+	fmt.Fprintf(b, `<span class="spark">%s<br><svg width="%d" height="%d">`, html.EscapeString(label), w, h)
+	ceil := 0.0
+	for _, p := range pts {
+		if p.V > ceil {
+			ceil = p.V
+		}
+	}
+	if ceil <= 0 {
+		ceil = 1
+	}
+	var poly strings.Builder
+	for i, p := range pts {
+		x := float64(i) / float64(len(pts)-1) * (w - 2)
+		v := p.V / ceil
+		if v < 0 {
+			v = 0
+		}
+		y := (h - 2) * (1 - v)
+		fmt.Fprintf(&poly, "%.1f,%.1f ", x+1, y+1)
+	}
+	fmt.Fprintf(b, `<polyline points=%q fill="none" stroke="#b48ead" stroke-width="1.5"/>`, strings.TrimSpace(poly.String()))
+	fmt.Fprintf(b, `<text x="4" y="12" fill="#616e7c" font-size="9">%.4g</text>`, ceil)
+	b.WriteString(`</svg></span>`)
 }
 
 // writeSparkline renders one labelled SVG polyline over the snapshot

@@ -10,6 +10,7 @@ import (
 	"dynamicmr/internal/diag"
 	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/tsdb"
 )
 
 // Report is the self-contained HTML run report: per-node utilization
@@ -44,6 +45,10 @@ type Report struct {
 	// TotalSnaps is the sampler's full series length before thinning;
 	// the data table notes when Snaps is a stride of it.
 	TotalSnaps int
+	// Alerts is the alert layer's final snapshot (rules, firing set,
+	// transition log); nil when no time-series engine was attached. The
+	// firing/resolved transitions also annotate the utilization chart.
+	Alerts *tsdb.AlertsDump
 }
 
 // maxReportSamples bounds the chart paths and the data table: longer
@@ -277,6 +282,24 @@ func (r *Report) decisionMarkers() []marker {
 	return ms
 }
 
+// alertMarkers overlays the alert log's firing/resolved transitions on
+// the charts, next to the policy-decision markers.
+func (r *Report) alertMarkers() []marker {
+	if r.Alerts == nil {
+		return nil
+	}
+	var ms []marker
+	for _, e := range r.Alerts.Events {
+		ms = append(ms, marker{x: e.TimeS, class: "alert",
+			label: fmt.Sprintf("alert %s %s (%.4g vs %.4g) @ %ss", e.Rule, e.State, e.Value, e.Threshold, fnum(e.TimeS))})
+	}
+	const capAlertMarkers = 60
+	if len(ms) > capAlertMarkers {
+		ms = ms[len(ms)-capAlertMarkers:]
+	}
+	return ms
+}
+
 // WriteHTML renders the self-contained report.
 func (r *Report) WriteHTML(w io.Writer) error {
 	var b strings.Builder
@@ -295,7 +318,7 @@ func (r *Report) WriteHTML(w io.Writer) error {
 	}
 
 	xmax := r.xMax()
-	markers := r.decisionMarkers()
+	markers := append(r.decisionMarkers(), r.alertMarkers()...)
 	wide := chartGeom{w: 920, h: 230, left: 52, right: 16, top: 12, bottom: 26, xmax: xmax, ymax: 100}
 
 	// Cluster utilization (percent scale, one axis).
@@ -355,6 +378,10 @@ func (r *Report) WriteHTML(w io.Writer) error {
 
 	// Per-query registry detail (when qstats was enabled).
 	r.writeQuerySection(&b)
+
+	// Alert rules and the firing/resolved log (when the time-series
+	// engine was attached).
+	r.writeAlertSection(&b)
 
 	// Policy summary + counters + data table.
 	r.writePolicyTable(&b)
@@ -592,6 +619,63 @@ func (r *Report) writeQuerySection(b *strings.Builder) {
 	b.WriteString("</section>\n")
 }
 
+// writeAlertSection renders the alert layer's end-of-run snapshot: the
+// still-firing set, then every firing/resolved transition, then the
+// configured rules.
+func (r *Report) writeAlertSection(b *strings.Builder) {
+	a := r.Alerts
+	if a == nil || (len(a.Rules) == 0 && len(a.Events) == 0) {
+		return
+	}
+	b.WriteString("<section>\n<h2>Alerts</h2>\n")
+	if len(a.Active) > 0 {
+		fmt.Fprintf(b, "<p class=\"note\">⚠ %d alert(s) still firing at end of run.</p>\n", len(a.Active))
+		b.WriteString("<table>\n<thead><tr><th>rule</th><th>since (s)</th><th>value</th><th>threshold</th><th>severity</th></tr></thead>\n<tbody>\n")
+		for _, al := range a.Active {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				esc(al.Rule), fnum(al.SinceS), fnum(al.Value), fnum(al.Threshold), esc(al.Severity))
+		}
+		b.WriteString("</tbody>\n</table>\n")
+	}
+	if len(a.Events) > 0 {
+		if a.Dropped > 0 {
+			fmt.Fprintf(b, "<p class=\"note\">⚠ %d older alert events were dropped from the log.</p>\n", a.Dropped)
+		}
+		b.WriteString("<h3>Transitions</h3>\n<table>\n<thead><tr><th>t (s)</th><th>rule</th><th>state</th><th>value</th><th>threshold</th><th>severity</th><th>message</th></tr></thead>\n<tbody>\n")
+		for _, e := range a.Events {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				fnum(e.TimeS), esc(e.Rule), esc(e.State), fnum(e.Value), fnum(e.Threshold), esc(e.Severity), esc(e.Message))
+		}
+		b.WriteString("</tbody>\n</table>\n")
+	}
+	if len(a.Rules) > 0 {
+		b.WriteString("<h3>Configured rules</h3>\n<table>\n<thead><tr><th>name</th><th>kind</th><th>series / objective</th><th>condition</th><th>window (s)</th><th>for (s)</th><th>severity</th></tr></thead>\n<tbody>\n")
+		for _, rule := range a.Rules {
+			target := rule.Series
+			cond := fmt.Sprintf("%s %s", ruleOp(rule), fnum(rule.Value))
+			if rule.Kind == tsdb.KindSLOBurn {
+				target = fmt.Sprintf("latency ≤ %ss", fnum(rule.ObjectiveS))
+				if rule.Policy != "" {
+					target += " (" + rule.Policy + ")"
+				}
+				cond = fmt.Sprintf("burn %s %s%%", ruleOp(rule), fnum(rule.MaxBurnPct))
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				esc(rule.Name), esc(rule.Kind), esc(target), esc(cond), fnum(rule.WindowS), fnum(rule.ForS), esc(rule.Severity))
+		}
+		b.WriteString("</tbody>\n</table>\n")
+	}
+	b.WriteString("</section>\n")
+}
+
+// ruleOp mirrors the rule's operator default for display.
+func ruleOp(r tsdb.Rule) string {
+	if r.Op == "" {
+		return ">"
+	}
+	return r.Op
+}
+
 func (r *Report) writePolicyTable(b *strings.Builder) {
 	if len(r.Policies) == 0 {
 		return
@@ -736,6 +820,7 @@ body { margin: 0; background: var(--page); }
 .viz-root .tick { fill: var(--text-muted); font-size: 10px; font-variant-numeric: tabular-nums; }
 .viz-root .mark-grow { stroke: var(--text-muted); stroke-width: 1; stroke-dasharray: 2 3; }
 .viz-root .mark-eoi { stroke: var(--text-secondary); stroke-width: 1.5; }
+.viz-root .mark-alert { stroke: var(--status-critical); stroke-width: 1.5; stroke-dasharray: 4 3; }
 .viz-root .legend { display: flex; flex-wrap: wrap; gap: 14px; margin: 6px 0; }
 .viz-root .key { display: inline-flex; align-items: center; gap: 6px; color: var(--text-secondary); font-size: 12.5px; }
 .viz-root .swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"sync"
 
+	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/tsdb"
 )
 
 // Server is the live operational surface: a Prometheus text-exposition
@@ -30,6 +32,7 @@ type Server struct {
 	mu   sync.Mutex
 	samp *Sampler
 	qs   *qstats.Registry
+	db   *tsdb.DB
 
 	// Rolling window of recent snapshots for the /live sparklines,
 	// maintained incrementally via SnapshotsSince. Guarded by mu.
@@ -51,6 +54,14 @@ type published struct {
 	vt      float64
 	recent  []Snapshot
 	engine  *EngineStats
+	scan    *ScanStats
+	// tsdbJSON / alertsJSON are the pre-rendered /tsdb and /alerts
+	// payloads; nil when no time-series engine is attached. trends and
+	// alerts carry the structured views the /live panels render from.
+	tsdbJSON   []byte
+	alertsJSON []byte
+	trends     tsdb.Dump
+	alerts     tsdb.AlertsDump
 }
 
 // NewServer wraps a sampler for serving.
@@ -60,6 +71,10 @@ func NewServer(samp *Sampler) *Server { return &Server{samp: samp} }
 // gain query detail, and /metrics gains the per-policy latency
 // histogram and QPS families.
 func (s *Server) SetQueryStats(r *qstats.Registry) { s.qs = r }
+
+// SetTSDB attaches the time-series engine: /tsdb and /alerts come
+// alive, and /live gains trend sparklines and the active-alerts banner.
+func (s *Server) SetTSDB(db *tsdb.DB) { s.db = db }
 
 // Lock takes the simulation lock; the driver holds it while advancing
 // the engine so scrapes never observe a half-stepped cluster.
@@ -86,6 +101,12 @@ func (s *Server) Publish() {
 		s.recent = append(s.recent[:0:0], s.recent[len(s.recent)-liveRecentSnaps:]...)
 	}
 	recent := append([]Snapshot(nil), s.recent...)
+	var trends tsdb.Dump
+	var alerts tsdb.AlertsDump
+	if s.db.Enabled() {
+		trends = s.db.Dump()
+		alerts = s.db.AlertsDump()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return
@@ -95,7 +116,12 @@ func (s *Server) Publish() {
 		return
 	}
 	p := &published{metrics: metrics.Bytes(), status: statusJSON, dump: dump, vt: vt, recent: recent,
-		engine: status.Engine}
+		engine: status.Engine, scan: status.Scan}
+	if s.db.Enabled() {
+		p.trends, p.alerts = trends, alerts
+		p.tsdbJSON, _ = json.MarshalIndent(trends, "", "  ")
+		p.alertsJSON, _ = json.MarshalIndent(alerts, "", "  ")
+	}
 	s.pubMu.Lock()
 	s.pub = p
 	s.pubMu.Unlock()
@@ -113,6 +139,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/tsdb", s.handleTSDB)
+	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.HandleFunc("/live", s.handleLive)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
@@ -120,7 +148,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "dynmr observability endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON run status\n  /queries  JSON per-query stats (?id=q-000001 for detail)\n  /live     self-refreshing HTML dashboard")
+		fmt.Fprintln(w, "dynmr observability endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON run status\n  /queries  JSON per-query stats (?id=q-000001 for detail)\n  /tsdb     JSON time-series history (schema dynamicmr.tsdb/1)\n  /alerts   JSON alert rules, active set and event log (schema dynamicmr.alerts/1)\n  /live     self-refreshing HTML dashboard")
 	})
 	return mux
 }
@@ -220,7 +248,35 @@ type StatusPayload struct {
 	QueuedReduces   int          `json:"queued_reduce_tasks"`
 	Samples         int          `json:"samples"`
 	Engine          *EngineStats `json:"engine,omitempty"`
+	Scan            *ScanStats   `json:"scan,omitempty"`
 	Latest          *Snapshot    `json:"latest,omitempty"`
+}
+
+// ScanStats surfaces the input-path mode and its block-level effect:
+// blocks actually read versus blocks the skip/index path proved it
+// could avoid. Present only when the run uses a reduced input path or
+// the scan counters are non-zero — a plain full-scan run reports no
+// scan section at all.
+type ScanStats struct {
+	InputPath     string `json:"input_path"`
+	BlocksRead    int64  `json:"blocks_read"`
+	BlocksSkipped int64  `json:"blocks_skipped"`
+}
+
+// scanStats reads the input-path mode and scan counters off the
+// tracker, returning nil for an unremarkable full-scan run.
+func scanStats(jt *mapreduce.JobTracker) *ScanStats {
+	tr := jt.Tracer()
+	read := tr.Counter(trace.CounterScanBlocksRead)
+	skipped := tr.Counter(trace.CounterScanBlocksSkipped)
+	mode := jt.InputPath()
+	if mode == "" {
+		mode = mapreduce.InputPathFull
+	}
+	if mode == mapreduce.InputPathFull && read == 0 && skipped == 0 {
+		return nil
+	}
+	return &ScanStats{InputPath: mode, BlocksRead: read, BlocksSkipped: skipped}
 }
 
 // EngineStats surfaces the in-memory session engine's residency levels
@@ -272,6 +328,7 @@ func (s *Server) statusPayload() StatusPayload {
 		QueuedReduces:   st.QueuedReduceTasks,
 		Samples:         s.samp.SnapshotCount(),
 		Engine:          engineStats(jt.Tracer()),
+		Scan:            scanStats(jt),
 	}
 	if snap, ok := s.samp.Latest(); ok {
 		payload.Latest = &snap
@@ -325,6 +382,44 @@ func (s *Server) handleQueries(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, fmt.Sprintf("no query %q", id), http.StatusNotFound)
 		return
 	}
+	writeJSON(w, dump)
+}
+
+// handleTSDB serves the time-series engine's full dump (schema
+// dynamicmr.tsdb/1): every series' raw ring plus its rollup levels.
+// 404 when no engine is attached.
+func (s *Server) handleTSDB(w http.ResponseWriter, _ *http.Request) {
+	if !s.db.Enabled() {
+		http.Error(w, "no time-series engine attached (run with tsdb enabled)", http.StatusNotFound)
+		return
+	}
+	if p := s.publishedState(); p != nil && p.tsdbJSON != nil {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(p.tsdbJSON)
+		return
+	}
+	s.mu.Lock()
+	dump := s.db.Dump()
+	s.mu.Unlock()
+	writeJSON(w, dump)
+}
+
+// handleAlerts serves the alert layer's dump (schema dynamicmr.alerts/1):
+// configured rules, currently firing set, transition log. 404 when no
+// engine is attached.
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	if !s.db.Enabled() {
+		http.Error(w, "no time-series engine attached (run with tsdb enabled)", http.StatusNotFound)
+		return
+	}
+	if p := s.publishedState(); p != nil && p.alertsJSON != nil {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(p.alertsJSON)
+		return
+	}
+	s.mu.Lock()
+	dump := s.db.AlertsDump()
+	s.mu.Unlock()
 	writeJSON(w, dump)
 }
 

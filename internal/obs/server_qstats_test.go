@@ -11,6 +11,7 @@ import (
 	"dynamicmr/internal/data"
 	"dynamicmr/internal/mapreduce"
 	"dynamicmr/internal/qstats"
+	"dynamicmr/internal/tsdb"
 )
 
 func echoMapper(*mapreduce.JobConf) mapreduce.Mapper {
@@ -121,6 +122,15 @@ func TestPublishedEndpointsDoNotBlock(t *testing.T) {
 	srv := NewServer(s)
 	reg := qstats.NewRegistry(jt)
 	srv.SetQueryStats(reg)
+	db, err := tsdb.New(jt, tsdb.Config{IntervalS: 1, Rules: []tsdb.Rule{
+		{Name: "jobs-high", Kind: tsdb.KindThreshold, Series: "cluster.running_jobs", Value: 1e9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetQueryStats(reg)
+	db.Start()
+	srv.SetTSDB(db)
 
 	id := reg.AllocID()
 	conf := mapreduce.NewJobConf()
@@ -135,8 +145,9 @@ func TestPublishedEndpointsDoNotBlock(t *testing.T) {
 	srv.Lock() // simulate the driver mid-advance
 	defer srv.Unlock()
 
-	done := make(chan string, 4)
-	for _, path := range []string{"/metrics", "/status", "/queries", "/live"} {
+	paths := []string{"/metrics", "/status", "/queries", "/live", "/tsdb", "/alerts"}
+	done := make(chan string, len(paths))
+	for _, path := range paths {
 		go func(p string) {
 			rec := httptest.NewRecorder()
 			srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
@@ -147,7 +158,7 @@ func TestPublishedEndpointsDoNotBlock(t *testing.T) {
 			done <- ""
 		}(path)
 	}
-	for i := 0; i < 4; i++ {
+	for range paths {
 		select {
 		case msg := <-done:
 			if msg != "" {
@@ -167,5 +178,25 @@ func TestPublishedEndpointsDoNotBlock(t *testing.T) {
 	}
 	if dump.Finished != 1 || len(dump.Queries) != 1 || dump.Queries[0].ID != id {
 		t.Fatalf("published dump: %+v", dump)
+	}
+
+	// The published /tsdb and /alerts views are schema-stamped snapshots.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/tsdb", nil))
+	var td tsdb.Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+		t.Fatalf("bad published /tsdb JSON: %v", err)
+	}
+	if td.Schema != tsdb.SchemaVersion || len(td.Series) == 0 {
+		t.Fatalf("published tsdb dump: schema %q, %d series", td.Schema, len(td.Series))
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	var ad tsdb.AlertsDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &ad); err != nil {
+		t.Fatalf("bad published /alerts JSON: %v", err)
+	}
+	if ad.Schema != tsdb.AlertsSchemaVersion || len(ad.Rules) != 1 {
+		t.Fatalf("published alerts dump: schema %q, %d rules", ad.Schema, len(ad.Rules))
 	}
 }

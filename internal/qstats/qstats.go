@@ -490,6 +490,33 @@ func (r *Registry) Summaries() []QueryRecord {
 	return out
 }
 
+// FinishedSince returns copies of the finished-query records whose
+// absolute sequence number (position in the finished stream, counting
+// records already trimmed from retention) is >= seq, plus the next
+// cursor value. Records that were trimmed before the caller caught up
+// are simply gone — the cursor stays monotonic, so incremental
+// consumers (the tsdb SLO-burn windows) never see a record twice.
+func (r *Registry) FinishedSince(seq int64) ([]QueryRecord, int64) {
+	if r == nil {
+		return nil, seq
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.dropped + int64(len(r.records))
+	if seq >= next {
+		return nil, next
+	}
+	i := seq - r.dropped
+	if i < 0 {
+		i = 0
+	}
+	out := make([]QueryRecord, 0, int64(len(r.records))-i)
+	for _, rec := range r.records[i:] {
+		out = append(out, *rec)
+	}
+	return out, next
+}
+
 // InFlight returns the currently running queries, ordered by job ID.
 func (r *Registry) InFlight() []QueryRecord {
 	if r == nil {

@@ -32,6 +32,7 @@ import (
 	"dynamicmr/internal/diag"
 	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/tsdb"
 )
 
 // SchemaVersion identifies the archive layout; consumers (dynmr diff,
@@ -48,6 +49,8 @@ const (
 	recGauges    = "gauges"
 	recDiagnosis = "diag"
 	recQueries   = "qstats"
+	recSeries    = "tsdb"
+	recAlerts    = "alerts"
 )
 
 // RunConfig is the run's provenance: enough to re-run it and to tell
@@ -81,6 +84,11 @@ type Counts struct {
 	Samples   int `json:"samples"`
 	Jobs      int `json:"jobs"`
 	Queries   int `json:"queries"`
+	// Series / AlertEvents count the time-series and alert layers;
+	// omitempty keeps manifests of runs without a tsdb engine
+	// byte-identical to those written before the fields existed.
+	Series      int `json:"series,omitempty"`
+	AlertEvents int `json:"alert_events,omitempty"`
 }
 
 // Manifest is the archive's first record.
@@ -202,6 +210,12 @@ type Archive struct {
 	// Queries is the per-query registry dump (schema
 	// dynamicmr.qstats/1); nil when the run had no qstats layer.
 	Queries *qstats.Dump
+	// Series is the time-series engine dump (schema dynamicmr.tsdb/1);
+	// nil when the run had no tsdb layer.
+	Series *tsdb.Dump
+	// Alerts is the alert layer's rules + firing set + event log (schema
+	// dynamicmr.alerts/1); nil when the run had no tsdb layer.
+	Alerts *tsdb.AlertsDump
 }
 
 // Source is the input to New: a label, the run's tracer, and optional
@@ -215,6 +229,10 @@ type Source struct {
 	Diagnosis *diag.Report
 	// Queries attaches the per-query dump; nil omits it.
 	Queries *qstats.Dump
+	// Series / Alerts attach the time-series and alert layers; nil
+	// omits them.
+	Series *tsdb.Dump
+	Alerts *tsdb.AlertsDump
 	// VirtualTimeS is the engine clock at archive time.
 	VirtualTimeS float64
 	// CreatedUnixMS stamps the manifest (0 = unstamped, deterministic
@@ -254,6 +272,8 @@ func New(src Source) (*Archive, error) {
 		Gauges:    src.Tracer.Gauges(),
 		Diagnosis: rep,
 		Queries:   src.Queries,
+		Series:    src.Series,
+		Alerts:    src.Alerts,
 	}
 	a.Manifest.Counts = a.counts()
 	return a, nil
@@ -267,6 +287,12 @@ func (a *Archive) counts() Counts {
 	}
 	if a.Queries != nil {
 		c.Queries = len(a.Queries.Queries)
+	}
+	if a.Series != nil {
+		c.Series = len(a.Series.Series)
+	}
+	if a.Alerts != nil {
+		c.AlertEvents = len(a.Alerts.Events)
 	}
 	return c
 }
@@ -472,6 +498,12 @@ func (a *Archive) encodeStream(out chan<- writeChunk, free <-chan []byte) {
 	if err == nil && a.Queries != nil {
 		err = emit(recQueries, a.Queries)
 	}
+	if err == nil && a.Series != nil {
+		err = emit(recSeries, a.Series)
+	}
+	if err == nil && a.Alerts != nil {
+		err = emit(recAlerts, a.Alerts)
+	}
 	if err != nil {
 		out <- writeChunk{err: err}
 		close(out)
@@ -617,6 +649,16 @@ func Load(r io.Reader) (*Archive, error) {
 			if err := json.Unmarshal(rec.D, a.Queries); err != nil {
 				return nil, fmt.Errorf("runarchive: qstats record: %w", err)
 			}
+		case recSeries:
+			a.Series = &tsdb.Dump{}
+			if err := json.Unmarshal(rec.D, a.Series); err != nil {
+				return nil, fmt.Errorf("runarchive: tsdb record: %w", err)
+			}
+		case recAlerts:
+			a.Alerts = &tsdb.AlertsDump{}
+			if err := json.Unmarshal(rec.D, a.Alerts); err != nil {
+				return nil, fmt.Errorf("runarchive: alerts record: %w", err)
+			}
 		default:
 			// Unknown record kinds are skipped: forward compatibility
 			// for minor additions within schema /1.
@@ -675,6 +717,12 @@ func (a *Archive) Validate() error {
 	if a.Queries != nil && a.Queries.Schema != qstats.SchemaVersion {
 		return fmt.Errorf("runarchive: qstats schema %q, want %q", a.Queries.Schema, qstats.SchemaVersion)
 	}
+	if a.Series != nil && a.Series.Schema != tsdb.SchemaVersion {
+		return fmt.Errorf("runarchive: tsdb schema %q, want %q", a.Series.Schema, tsdb.SchemaVersion)
+	}
+	if a.Alerts != nil && a.Alerts.Schema != tsdb.AlertsSchemaVersion {
+		return fmt.Errorf("runarchive: alerts schema %q, want %q", a.Alerts.Schema, tsdb.AlertsSchemaVersion)
+	}
 	return nil
 }
 
@@ -695,6 +743,11 @@ func (a *Archive) RunSide() diag.RunSide {
 		}
 		for _, q := range a.Queries.InFlight {
 			side.QueryByJob[q.JobID] = q.ID
+		}
+	}
+	if a.Alerts != nil {
+		for _, e := range a.Alerts.Events {
+			side.Alerts = append(side.Alerts, fmt.Sprintf("%s(%s)", e.Rule, e.State))
 		}
 	}
 	return side

@@ -11,6 +11,7 @@ import (
 
 	"dynamicmr/internal/qstats"
 	"dynamicmr/internal/trace"
+	"dynamicmr/internal/tsdb"
 )
 
 // randomTracer populates an enabled tracer with r-sized randomized but
@@ -164,6 +165,82 @@ func TestArchiveQueriesRoundTrip(t *testing.T) {
 	want := map[int]string{0: "q-000001", 1: "q-000002", 2: "q-000003"}
 	if !reflect.DeepEqual(rs.QueryByJob, want) {
 		t.Fatalf("QueryByJob = %v, want %v", rs.QueryByJob, want)
+	}
+}
+
+// TestArchiveSeriesAndAlertsRoundTrip covers the tsdb layers: the
+// series dump and alert log survive write→load with exact equality, a
+// re-dump stays byte-identical, the manifest counts them, and RunSide
+// exposes the alert signatures for diffing.
+func TestArchiveSeriesAndAlertsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tr, vt := randomTracer(r, 2)
+	series := &tsdb.Dump{
+		Schema: tsdb.SchemaVersion, VirtualTimeS: vt, IntervalS: 5,
+		Series: []tsdb.SeriesDump{
+			{Name: "cluster.running_jobs", Points: []tsdb.Point{{T: 5, V: 1}, {T: 10, V: 2}}},
+			{Name: "query.match_rate", Points: []tsdb.Point{{T: 10, V: 123.5}}},
+		},
+	}
+	alerts := &tsdb.AlertsDump{
+		Schema: tsdb.AlertsSchemaVersion, VirtualTimeS: vt,
+		Rules: []tsdb.Rule{{Name: "latency-slo", Kind: tsdb.KindSLOBurn, ObjectiveS: 30}},
+		Active: []tsdb.ActiveAlert{
+			{Rule: "latency-slo", SinceS: 40, Value: 100, Severity: "page"},
+		},
+		Events: []tsdb.AlertEvent{
+			{Rule: "latency-slo", State: tsdb.StateFiring, TimeS: 40, Value: 100},
+		},
+	}
+	a, err := New(Source{Label: "with tsdb", Tracer: tr,
+		Series: series, Alerts: alerts, VirtualTimeS: vt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Manifest.Counts.Series != 2 || a.Manifest.Counts.AlertEvents != 1 {
+		t.Fatalf("manifest counts: %+v", a.Manifest.Counts)
+	}
+
+	var first bytes.Buffer
+	if err := a.Write(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Series, a.Series) {
+		t.Fatalf("series do not round-trip:\n got %+v\nwant %+v", loaded.Series, a.Series)
+	}
+	if !reflect.DeepEqual(loaded.Alerts, a.Alerts) {
+		t.Fatalf("alerts do not round-trip:\n got %+v\nwant %+v", loaded.Alerts, a.Alerts)
+	}
+	var second bytes.Buffer
+	if err := loaded.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-dump is not byte-identical (%d vs %d bytes)", first.Len(), second.Len())
+	}
+
+	if got := loaded.RunSide().Alerts; !reflect.DeepEqual(got, []string{"latency-slo(firing)"}) {
+		t.Fatalf("RunSide alerts = %v", got)
+	}
+
+	// A wrong schema in either layer fails Validate.
+	bad := *a
+	badSeries := *series
+	badSeries.Schema = "dynamicmr.tsdb/999"
+	bad.Series = &badSeries
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a wrong tsdb schema")
+	}
+	bad = *a
+	badAlerts := *alerts
+	badAlerts.Schema = "dynamicmr.alerts/999"
+	bad.Alerts = &badAlerts
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a wrong alerts schema")
 	}
 }
 

@@ -1,0 +1,162 @@
+package tsdb
+
+import "math"
+
+// Point is one raw observation on the virtual clock.
+type Point struct {
+	T float64 `json:"t_s"`
+	V float64 `json:"v"`
+}
+
+// Bucket is one sealed rollup interval: min/max/sum/count of the raw
+// points whose timestamps fell in [Start, Start+step).
+type Bucket struct {
+	Start float64 `json:"start_s"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Count int64   `json:"count"`
+}
+
+// Resolution sizes one rollup level of a series: raw points are folded
+// into StepS-wide buckets, of which the newest Capacity are retained.
+type Resolution struct {
+	StepS    float64 `json:"step_s"`
+	Capacity int     `json:"capacity"`
+}
+
+// Series is a fixed-capacity downsampling ring buffer: the newest raw
+// points plus one min/max/sum/count rollup ring per resolution level.
+// All storage is allocated up front, so Append never allocates — the
+// property BenchmarkSeriesAppend pins.
+type Series struct {
+	raw    []Point // ring; raw[head] is the next write slot
+	head   int
+	n      int
+	levels []rollupLevel
+}
+
+// rollupLevel is one resolution's sealed-bucket ring plus the bucket
+// currently being folded. A bucket seals when an appended timestamp
+// crosses its step boundary, so rollups trail the raw ring by at most
+// one step.
+type rollupLevel struct {
+	step    float64
+	buckets []Bucket
+	head    int
+	n       int
+	cur     Bucket
+	open    bool
+}
+
+func newSeries(rawCap int, res []Resolution) *Series {
+	s := &Series{raw: make([]Point, rawCap)}
+	s.levels = make([]rollupLevel, len(res))
+	for i, r := range res {
+		s.levels[i] = rollupLevel{step: r.StepS, buckets: make([]Bucket, r.Capacity)}
+	}
+	return s
+}
+
+// Append records v at virtual time t. Timestamps must be non-decreasing
+// (the engine clock guarantees it).
+func (s *Series) Append(t, v float64) {
+	s.raw[s.head] = Point{T: t, V: v}
+	s.head++
+	if s.head == len(s.raw) {
+		s.head = 0
+	}
+	if s.n < len(s.raw) {
+		s.n++
+	}
+	for i := range s.levels {
+		l := &s.levels[i]
+		start := math.Floor(t/l.step) * l.step
+		if l.open && l.cur.Start != start {
+			l.seal()
+		}
+		if !l.open {
+			l.cur = Bucket{Start: start, Min: v, Max: v, Sum: v, Count: 1}
+			l.open = true
+			continue
+		}
+		if v < l.cur.Min {
+			l.cur.Min = v
+		}
+		if v > l.cur.Max {
+			l.cur.Max = v
+		}
+		l.cur.Sum += v
+		l.cur.Count++
+	}
+}
+
+func (l *rollupLevel) seal() {
+	l.buckets[l.head] = l.cur
+	l.head++
+	if l.head == len(l.buckets) {
+		l.head = 0
+	}
+	if l.n < len(l.buckets) {
+		l.n++
+	}
+	l.open = false
+}
+
+// Points returns the retained raw points, oldest first.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.raw)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.raw[(start+i)%len(s.raw)])
+	}
+	return out
+}
+
+// Latest returns the newest point, if any.
+func (s *Series) Latest() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i += len(s.raw)
+	}
+	return s.raw[i], true
+}
+
+// At returns the newest point with timestamp <= t among the retained
+// raw points.
+func (s *Series) At(t float64) (Point, bool) {
+	for i := 0; i < s.n; i++ {
+		j := s.head - 1 - i
+		if j < 0 {
+			j += len(s.raw)
+		}
+		if s.raw[j].T <= t {
+			return s.raw[j], true
+		}
+	}
+	return Point{}, false
+}
+
+// Buckets returns level's retained rollup buckets oldest first, the
+// still-open current bucket (partial by construction) last.
+func (s *Series) Buckets(level int) []Bucket {
+	l := &s.levels[level]
+	out := make([]Bucket, 0, l.n+1)
+	start := l.head - l.n
+	if start < 0 {
+		start += len(l.buckets)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buckets[(start+i)%len(l.buckets)])
+	}
+	if l.open {
+		out = append(out, l.cur)
+	}
+	return out
+}
